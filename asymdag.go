@@ -1,0 +1,231 @@
+package asymdag
+
+import (
+	"repro/internal/abba"
+	"repro/internal/acs"
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/gather"
+	"repro/internal/harness"
+	"repro/internal/quorum"
+	"repro/internal/register"
+	"repro/internal/rider"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Re-exported foundation types. The library's public surface is defined
+// here; internal packages hold the implementations.
+
+type (
+	// ProcessID identifies a process (zero-based).
+	ProcessID = types.ProcessID
+	// Set is a process-set bitset.
+	Set = types.Set
+
+	// System is an explicit asymmetric Byzantine quorum system.
+	System = quorum.System
+	// Threshold is the classic n-of-which-f-may-fail assumption.
+	Threshold = quorum.Threshold
+	// Assumption is the trust interface protocols consume.
+	Assumption = quorum.Assumption
+	// FederatedConfig parameterizes the Stellar-flavoured generator.
+	FederatedConfig = quorum.FederatedConfig
+	// UNLConfig parameterizes the Ripple-flavoured generator.
+	UNLConfig = quorum.UNLConfig
+
+	// CoinSource elects wave leaders.
+	CoinSource = coin.Source
+
+	// GatherKind selects a gather protocol.
+	GatherKind = gather.Kind
+	// GatherConfig configures a gather execution.
+	GatherConfig = gather.RunConfig
+	// GatherResult is a gather execution's outcome.
+	GatherResult = gather.RunResult
+	// Pairs is a gather (process, value) set.
+	Pairs = gather.Pairs
+
+	// RiderKind selects a consensus protocol.
+	RiderKind = harness.RiderKind
+	// RiderConfig configures a consensus execution.
+	RiderConfig = harness.RiderConfig
+	// RiderResult is a consensus execution's outcome.
+	RiderResult = harness.RiderResult
+
+	// LatencyModel controls simulated message delays.
+	LatencyModel = sim.LatencyModel
+	// UniformLatency delays uniformly in [Min, Max].
+	UniformLatency = sim.UniformLatency
+	// ConstantLatency delays every message equally.
+	ConstantLatency = sim.ConstantLatency
+	// FavoredLinksLatency is the adversarial schedule of Appendix A.
+	FavoredLinksLatency = sim.FavoredLinksLatency
+)
+
+// Protocol selector constants.
+const (
+	GatherThreeRound    = gather.KindThreeRound
+	GatherConstantRound = gather.KindConstantRound
+	RiderSymmetric      = harness.Symmetric
+	RiderAsymmetric     = harness.Asymmetric
+
+	// GatherUseReliable disseminates gather inputs over asymmetric
+	// reliable broadcast (the protocol as written in the paper).
+	GatherUseReliable = gather.UseReliable
+	// GatherUsePlain uses best-effort broadcast — valid with correct
+	// senders; the Appendix A adversarial executions use it so the
+	// schedule acts directly on the protocol rounds.
+	GatherUsePlain = gather.UsePlain
+)
+
+// NewSet returns an empty set over a universe of n processes.
+func NewSet(n int) Set { return types.NewSet(n) }
+
+// NewSetOf returns a set containing the given members.
+func NewSetOf(n int, members ...ProcessID) Set { return types.NewSetOf(n, members...) }
+
+// FullSet returns the set of all n processes.
+func FullSet(n int) Set { return types.FullSet(n) }
+
+// NewThreshold returns the threshold assumption (panics unless n > 3f).
+func NewThreshold(n, f int) Threshold { return quorum.NewThreshold(n, f) }
+
+// NewThresholdExplicit materializes the threshold system explicitly (for
+// small n).
+func NewThresholdExplicit(n, f int) (*System, error) { return quorum.NewThresholdExplicit(n, f) }
+
+// NewSystem builds an explicit asymmetric system from per-process
+// fail-prone and quorum collections.
+func NewSystem(n int, failProne, quorums [][]Set) (*System, error) {
+	return quorum.New(n, failProne, quorums)
+}
+
+// NewSymmetric builds a symmetric system from a shared fail-prone
+// collection with canonical quorums.
+func NewSymmetric(n int, failProne []Set) (*System, error) {
+	return quorum.NewSymmetric(n, failProne)
+}
+
+// Canonical derives canonical quorums (complements of fail-prone sets).
+func Canonical(n int, failProne [][]Set) (*System, error) { return quorum.Canonical(n, failProne) }
+
+// NewFederated generates a Stellar-flavoured tiered system.
+func NewFederated(cfg FederatedConfig) (*System, error) { return quorum.NewFederated(cfg) }
+
+// NewUNL generates a Ripple-flavoured UNL system.
+func NewUNL(cfg UNLConfig) (*System, error) { return quorum.NewUNL(cfg) }
+
+// Counterexample returns the paper's 30-process Figure 1 system.
+func Counterexample() *System { return quorum.Counterexample() }
+
+// NewPRFCoin returns the seeded common coin shared by a run's nodes.
+func NewPRFCoin(seed int64, n int) CoinSource { return coin.NewPRF(seed, n) }
+
+// FaultBehavior is a stand-in state machine for a faulty process, usable
+// in RiderConfig.Faulty and GatherConfig.Faulty.
+type FaultBehavior = sim.Node
+
+// Mute returns the simplest Byzantine behaviour: a process that never
+// sends a message (indistinguishable from an initial crash).
+func Mute() FaultBehavior { return sim.MuteNode{} }
+
+// CrashAt returns a fail-stop behaviour wrapping an inner node that stops
+// participating at the given virtual time.
+func CrashAt(inner FaultBehavior, at int64) FaultBehavior {
+	return &sim.CrashNode{Inner: inner, CrashAt: sim.VirtualTime(at)}
+}
+
+// RunGather executes one gather instance across a simulated cluster.
+func RunGather(cfg GatherConfig) GatherResult { return gather.RunCluster(cfg) }
+
+// RunConsensus executes one consensus instance across a simulated cluster.
+func RunConsensus(cfg RiderConfig) RiderResult { return harness.RunRider(cfg) }
+
+// Additional asymmetric primitives. ---------------------------------------
+
+type (
+	// BinaryAgreementNode runs asymmetric randomized binary consensus.
+	BinaryAgreementNode = abba.Node
+	// BinaryAgreementConfig configures a BinaryAgreementNode.
+	BinaryAgreementConfig = abba.Config
+
+	// ACSNode runs asymmetric Agreement on a Core Set (gather + n binary
+	// agreements); all guild members output an identical set.
+	ACSNode = acs.Node
+	// ACSConfig configures an ACSNode.
+	ACSConfig = acs.Config
+
+	// SWMRRegister is the asymmetric single-writer multi-reader atomic
+	// register emulation.
+	SWMRRegister = register.Register
+
+	// BindingGatherNode is the gather variant whose common core is fixed
+	// once the first correct process delivers (one extra round).
+	BindingGatherNode = gather.BindingNode
+
+	// PRFCoin is the concrete seeded coin (exposes Bit for binary
+	// agreement).
+	PRFCoin = coin.PRF
+)
+
+// NewBinaryAgreementNode creates a binary-agreement process.
+func NewBinaryAgreementNode(cfg BinaryAgreementConfig) *BinaryAgreementNode {
+	return abba.NewNode(cfg)
+}
+
+// NewACSNode creates an agreement-on-a-core-set process.
+func NewACSNode(cfg ACSConfig) *ACSNode { return acs.NewNode(cfg) }
+
+// NewSWMRRegister creates a register endpoint; all processes must agree on
+// the writer.
+func NewSWMRRegister(self, writer ProcessID, n int, trust Assumption) *SWMRRegister {
+	return register.New(self, writer, n, trust)
+}
+
+// NewBindingGatherNode creates a binding-gather process.
+func NewBindingGatherNode(cfg GatherNodeConfig) *BindingGatherNode {
+	return gather.NewBindingNode(gather.Config{Trust: cfg.Trust, Input: cfg.Input, Mode: cfg.Mode})
+}
+
+// GatherNodeConfig configures a single gather node (as opposed to
+// GatherConfig, which configures a whole simulated cluster run).
+type GatherNodeConfig = gather.Config
+
+// Real-network deployment (TCP). -----------------------------------------
+
+type (
+	// ConsensusNode is one process of the asymmetric DAG consensus,
+	// usable both under the simulator and over TCP.
+	ConsensusNode = core.Node
+	// ConsensusConfig configures a ConsensusNode.
+	ConsensusConfig = core.Config
+	// Workload supplies the transactions a node packs into vertices.
+	Workload = rider.Workload
+	// SyntheticWorkload generates labeled transactions for benchmarks.
+	SyntheticWorkload = rider.SyntheticWorkload
+	// QueueWorkload drains explicitly submitted transactions.
+	QueueWorkload = rider.QueueWorkload
+
+	// TCPHost runs one protocol node over real TCP connections.
+	TCPHost = transport.Host
+	// TCPCluster is a fully wired loopback mesh of TCPHosts.
+	TCPCluster = transport.LocalCluster
+)
+
+// NewConsensusNode creates an asymmetric-consensus process.
+func NewConsensusNode(cfg ConsensusConfig) *ConsensusNode { return core.NewNode(cfg) }
+
+// NewTCPCluster builds (without starting) a loopback TCP mesh running the
+// given protocol nodes; see examples/tcpnet.
+func NewTCPCluster(nodes []FaultBehavior, seed int64) (*TCPCluster, error) {
+	return transport.NewLocalCluster(nodes, seed)
+}
+
+// NewTCPHost creates a single TCP host for distributed deployments: wire
+// peers with Connect, then Start.
+func NewTCPHost(self ProcessID, n int, node FaultBehavior, addr string, seed int64) (*TCPHost, error) {
+	transport.RegisterAllWire()
+	return transport.NewHost(self, n, node, addr, seed)
+}

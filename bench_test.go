@@ -1,0 +1,421 @@
+// Benchmarks regenerating every figure and quantitative claim of the paper
+// (one benchmark per experiment in DESIGN.md's index, plus micro-benchmarks
+// of the hot substrate operations). Run:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark*/commit and */tx metrics are the paper-shaped results:
+// waves-per-commit against the Lemma 4.4 bound, message and byte costs of
+// the asymmetric control flow, and symmetric-vs-asymmetric throughput.
+package asymdag_test
+
+import (
+	"testing"
+
+	asymdag "repro"
+	"repro/internal/abba"
+	"repro/internal/acs"
+	"repro/internal/coin"
+	"repro/internal/gather"
+	"repro/internal/harness"
+	"repro/internal/quorum"
+	"repro/internal/register"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// E1 — Figure 1: constructing and validating the counterexample system.
+func BenchmarkFig1CounterexampleConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := quorum.Counterexample()
+		if !sys.SatisfiesB3() || sys.Validate() != nil {
+			b.Fatal("counterexample system broken")
+		}
+	}
+}
+
+// E2/E3/E4 — Figures 2–4: the abstract round-merge execution of Listing 1.
+func benchRoundSets(b *testing.B, rounds int) {
+	sys := quorum.Counterexample()
+	choice := gather.CanonicalChoice(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := gather.RoundSets(sys.N(), choice, rounds)
+		if len(sets) != 30 {
+			b.Fatal("wrong size")
+		}
+	}
+}
+
+func BenchmarkFig2SSets(b *testing.B) { benchRoundSets(b, 1) }
+func BenchmarkFig3TSets(b *testing.B) { benchRoundSets(b, 2) }
+
+func BenchmarkFig4Listing1Verification(b *testing.B) {
+	sys := quorum.Counterexample()
+	choice := gather.CanonicalChoice(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := gather.RoundSets(sys.N(), choice, 3)
+		if !gather.CommonCoreCandidates(sys.N(), choice, u).IsEmpty() {
+			b.Fatal("Lemma 3.2 violated")
+		}
+	}
+}
+
+// E4 (message level) — Algorithm 2 on the adversarial schedule.
+func adversarialLatency(sys *quorum.System) sim.LatencyModel {
+	fav := make([]types.Set, sys.N())
+	for i := range fav {
+		fav[i] = sys.Quorums(types.ProcessID(i))[0]
+	}
+	return sim.FavoredLinksLatency{Favored: fav, Fast: 1, Slow: 100000}
+}
+
+func BenchmarkGatherAlgorithm2Adversarial(b *testing.B) {
+	sys := quorum.Counterexample()
+	lat := adversarialLatency(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gather.RunCluster(gather.RunConfig{
+			Kind: gather.KindThreeRound, Trust: sys, Mode: gather.UsePlain, Latency: lat, Seed: 1,
+		})
+		if len(res.Outputs) != 30 {
+			b.Fatal("missing deliveries")
+		}
+	}
+}
+
+// E6 — Algorithm 3 on the same schedule (the paper's fix).
+func BenchmarkGatherAlgorithm3Adversarial(b *testing.B) {
+	sys := quorum.Counterexample()
+	lat := adversarialLatency(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gather.RunCluster(gather.RunConfig{
+			Kind: gather.KindConstantRound, Trust: sys, Mode: gather.UsePlain, Latency: lat, Seed: 1,
+		})
+		core := gather.AnalyzeCommonCore(30, res.SSnapshots, res.Outputs, types.FullSet(30))
+		if core.IsEmpty() {
+			b.Fatal("no common core")
+		}
+	}
+}
+
+// E6 — symmetric baseline gather (Algorithm 1) with full reliable
+// broadcast.
+func BenchmarkGatherAlgorithm1Threshold(b *testing.B) {
+	trust := quorum.NewThreshold(7, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gather.RunCluster(gather.RunConfig{
+			Kind: gather.KindThreeRound, Trust: trust, Mode: gather.UseReliable,
+			Latency: sim.UniformLatency{Min: 1, Max: 20}, Seed: int64(i),
+		})
+		if len(res.Outputs) != 7 {
+			b.Fatal("missing deliveries")
+		}
+	}
+}
+
+// E5 — the <16-process search.
+func BenchmarkSmallSystemCommonCoreSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+			N: 10, NumSets: 2, MaxFault: 2, Seed: int64(i),
+		})
+		if err != nil {
+			continue
+		}
+		choice := gather.CanonicalChoice(sys)
+		u := gather.RoundSets(10, choice, 3)
+		if gather.CommonCoreCandidates(10, choice, u).IsEmpty() {
+			b.Fatal("small-system violation")
+		}
+	}
+}
+
+// E7 — Lemma 4.4: waves per commit, reported as a custom metric next to
+// the |P|/c(Q) bound.
+func benchCommitWaves(b *testing.B, trust quorum.Assumption, waves int) {
+	totalWaves, totalCommits := 0, 0
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: harness.Asymmetric, Trust: trust, NumWaves: waves,
+			Seed: int64(i), CoinSeed: int64(i)*31 + 1,
+		})
+		for _, nr := range res.Nodes {
+			totalWaves += waves
+			totalCommits += len(nr.Commits)
+		}
+	}
+	if totalCommits > 0 {
+		b.ReportMetric(float64(totalWaves)/float64(totalCommits), "waves/commit")
+	}
+	if qs, ok := trust.(quorum.QuorumSizer); ok {
+		b.ReportMetric(float64(trust.N())/float64(qs.SmallestQuorumSize()), "bound")
+	}
+}
+
+func BenchmarkCommitWavesThreshold4(b *testing.B) { benchCommitWaves(b, quorum.NewThreshold(4, 1), 10) }
+func BenchmarkCommitWavesThreshold7(b *testing.B) { benchCommitWaves(b, quorum.NewThreshold(7, 2), 8) }
+func BenchmarkCommitWavesThreshold10(b *testing.B) {
+	benchCommitWaves(b, quorum.NewThreshold(10, 3), 6)
+}
+
+func BenchmarkCommitWavesCounterexample30(b *testing.B) {
+	benchCommitWaves(b, quorum.Counterexample(), 3)
+}
+
+func BenchmarkCommitWavesFederated10(b *testing.B) {
+	fed, err := quorum.NewFederated(quorum.FederatedConfig{
+		N: 10, TopTier: 7, TrustedPeers: 2, Tolerance: 2, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCommitWaves(b, fed, 8)
+}
+
+// E8 — symmetric vs asymmetric DAG-Rider: throughput and network cost.
+func benchRider(b *testing.B, kind harness.RiderKind, n, f int) {
+	trust := quorum.NewThreshold(n, f)
+	var txs, msgs, bytes int
+	var vtime int64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: kind, Trust: trust, NumWaves: 8, TxPerBlock: 4,
+			Seed: int64(i), CoinSeed: int64(i) * 13,
+		})
+		for _, nr := range res.Nodes {
+			txs += len(nr.Blocks)
+			break // one representative node
+		}
+		msgs += res.Metrics.MessagesSent
+		bytes += res.Metrics.BytesSent
+		vtime += int64(res.EndTime)
+	}
+	b.ReportMetric(float64(txs)/float64(b.N), "tx/run")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/run")
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/run")
+	b.ReportMetric(float64(vtime)/float64(b.N), "vtime/run")
+}
+
+func BenchmarkRiderSymmetric4(b *testing.B)  { benchRider(b, harness.Symmetric, 4, 1) }
+func BenchmarkRiderAsymmetric4(b *testing.B) { benchRider(b, harness.Asymmetric, 4, 1) }
+func BenchmarkRiderSymmetric7(b *testing.B)  { benchRider(b, harness.Symmetric, 7, 2) }
+func BenchmarkRiderAsymmetric7(b *testing.B) { benchRider(b, harness.Asymmetric, 7, 2) }
+
+// E9 — consensus under faults.
+func BenchmarkRiderAsymmetricWithCrashes(b *testing.B) {
+	trust := quorum.NewThreshold(7, 2)
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: harness.Asymmetric, Trust: trust, NumWaves: 6, TxPerBlock: 2,
+			Seed: int64(i), CoinSeed: int64(i),
+			Faulty: map[types.ProcessID]sim.Node{5: sim.MuteNode{}, 6: sim.MuteNode{}},
+		})
+		correct := types.NewSetOf(7, 0, 1, 2, 3, 4)
+		if err := res.CheckTotalOrder(correct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10 / quickstart — the public API end to end.
+func BenchmarkClusterQuickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cluster := asymdag.NewCluster(asymdag.ClusterConfig{
+			Trust: asymdag.NewThreshold(4, 1), NumWaves: 6, Seed: int64(i), CoinSeed: 3,
+		})
+		cluster.Submit(0, "a", "b", "c")
+		res := cluster.Run()
+		if !res.OrdersAgree() {
+			b.Fatal("orders diverge")
+		}
+	}
+}
+
+// Micro-benchmarks of the substrate hot paths. ---------------------------
+
+func BenchmarkSetIntersects(b *testing.B) {
+	x := types.FullSet(64)
+	y := types.NewSetOf(64, 63)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Intersects(y) {
+			b.Fatal("must intersect")
+		}
+	}
+}
+
+func BenchmarkQuorumPredicateCounterexample(b *testing.B) {
+	sys := quorum.Counterexample()
+	m := types.FullSet(30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.HasQuorumWithin(types.ProcessID(i%30), m) {
+			b.Fatal("full set must contain a quorum")
+		}
+	}
+}
+
+func BenchmarkReliableBroadcastRound(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	for i := 0; i < b.N; i++ {
+		res := gather.RunCluster(gather.RunConfig{
+			Kind: gather.KindThreeRound, Trust: trust, Mode: gather.UseReliable,
+			Latency: sim.ConstantLatency(1), Seed: int64(i),
+		})
+		if len(res.Outputs) != 4 {
+			b.Fatal("missing outputs")
+		}
+	}
+}
+
+// Extension benchmarks: the additional primitives beyond the paper's core
+// pipeline (see DESIGN.md §2: abba, revealed coin, Tusk-style two-round
+// primitive) and the protocol-level ablations.
+
+// Asymmetric binary agreement (Alpos et al. primitive): decision latency
+// in rounds.
+func BenchmarkBinaryAgreement(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	totalRounds, decisions := 0, 0
+	for i := 0; i < b.N; i++ {
+		n := trust.N()
+		nodes := make([]sim.Node, n)
+		raw := make([]*abba.Node, n)
+		for k := range nodes {
+			nd := abba.NewNode(abba.Config{Trust: trust, Coin: coin.NewPRF(int64(i), n), Input: k % 2})
+			nodes[k] = nd
+			raw[k] = nd
+		}
+		r := sim.NewRunner(sim.Config{N: n, Seed: int64(i), Latency: sim.UniformLatency{Min: 1, Max: 20}}, nodes)
+		r.Run(0)
+		for _, nd := range raw {
+			if _, ok := nd.Decided(); !ok {
+				b.Fatal("agreement did not terminate")
+			}
+			totalRounds += nd.DecidedRound()
+			decisions++
+		}
+	}
+	if decisions > 0 {
+		b.ReportMetric(float64(totalRounds)/float64(decisions), "rounds/decision")
+	}
+}
+
+// Revealed-coin ablation: the share-gated coin's cost relative to direct
+// PRF evaluation (compare with BenchmarkRiderAsymmetric4).
+func BenchmarkRiderRevealedCoin4(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: harness.Asymmetric, Trust: trust, NumWaves: 8, TxPerBlock: 4,
+			Seed: int64(i), CoinSeed: int64(i) * 13, RevealedCoin: true,
+		})
+		if err := res.CheckTotalOrder(types.FullSet(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Tusk-style two-round primitive: the cheapest (and, asymmetrically,
+// unsound) common-core attempt.
+func BenchmarkGatherTwoRoundThreshold(b *testing.B) {
+	trust := quorum.NewThreshold(7, 2)
+	for i := 0; i < b.N; i++ {
+		n := trust.N()
+		nodes := make([]sim.Node, n)
+		for k := range nodes {
+			nodes[k] = gather.NewTwoRoundNode(gather.Config{
+				Trust: trust, Input: gather.InputValue(types.ProcessID(k)), Mode: gather.UseReliable,
+			})
+		}
+		r := sim.NewRunner(sim.Config{N: n, Seed: int64(i), Latency: sim.UniformLatency{Min: 1, Max: 20}}, nodes)
+		r.Run(0)
+	}
+}
+
+// ACS (E11): consensus-equivalent core-set agreement.
+func BenchmarkACSThreshold7(b *testing.B) {
+	trust := quorum.NewThreshold(7, 2)
+	for i := 0; i < b.N; i++ {
+		outputs := acs.RunCluster(trust, gather.UseReliable, sim.UniformLatency{Min: 1, Max: 30}, int64(i), int64(i)+7, nil)
+		if len(outputs) != 7 {
+			b.Fatal("ACS incomplete")
+		}
+	}
+}
+
+// Binding gather (E12): the extra-round variant.
+func BenchmarkGatherBindingCounterexample(b *testing.B) {
+	sys := quorum.Counterexample()
+	for i := 0; i < b.N; i++ {
+		n := sys.N()
+		nodes := make([]sim.Node, n)
+		for k := range nodes {
+			nodes[k] = gather.NewBindingNode(gather.Config{
+				Trust: sys, Input: gather.InputValue(types.ProcessID(k)), Mode: gather.UsePlain,
+			})
+		}
+		r := sim.NewRunner(sim.Config{N: n, Seed: int64(i), Latency: sim.UniformLatency{Min: 1, Max: 10}}, nodes)
+		r.Run(0)
+	}
+}
+
+// GC ablation (E13): bounded-memory consensus.
+func BenchmarkRiderWithGC(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: harness.Asymmetric, Trust: trust, NumWaves: 8, TxPerBlock: 4,
+			Seed: int64(i), CoinSeed: int64(i) * 13, GCDepth: 3,
+		})
+		if err := res.CheckTotalOrder(types.FullSet(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SWMR register: one write+read round trip across the cluster.
+func BenchmarkRegisterWriteRead(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	for i := 0; i < b.N; i++ {
+		nodes := make([]sim.Node, 4)
+		regs := make([]*register.Register, 4)
+		for k := range nodes {
+			k := k
+			nodes[k] = &regDriver{mk: func(env sim.Env) *register.Register {
+				r := register.New(env.Self(), 0, 4, trust)
+				regs[k] = r
+				return r
+			}}
+		}
+		nodes[0].(*regDriver).script = func(env sim.Env, r *register.Register) {
+			r.Write(env, "bench", func(env sim.Env) {
+				r.Read(env, nil)
+			})
+		}
+		r := sim.NewRunner(sim.Config{N: 4, Seed: int64(i), Latency: sim.ConstantLatency(1)}, nodes)
+		r.Run(0)
+	}
+}
+
+// regDriver adapts a Register to sim.Node for the benchmark.
+type regDriver struct {
+	mk     func(env sim.Env) *register.Register
+	script func(env sim.Env, r *register.Register)
+	reg    *register.Register
+}
+
+func (d *regDriver) Init(env sim.Env) {
+	d.reg = d.mk(env)
+	if d.script != nil {
+		d.script(env, d.reg)
+	}
+}
+
+func (d *regDriver) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	d.reg.Handle(env, from, msg)
+}

@@ -1,0 +1,114 @@
+// Command quorumtool inspects asymmetric quorum systems: it validates the
+// defining properties, checks the B3 condition, computes guilds for a
+// hypothetical faulty set, and enumerates minimal kernels.
+//
+// Usage:
+//
+//	quorumtool -system counterexample
+//	quorumtool -system threshold -n 7 -f 2
+//	quorumtool -system federated -n 12 -top 7 -tol 2
+//	quorumtool -system counterexample -faulty 3,17,29
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+func main() {
+	system := flag.String("system", "counterexample", "counterexample | threshold | federated | unl | random")
+	n := flag.Int("n", 30, "number of processes (threshold/federated/random)")
+	f := flag.Int("f", 1, "failure threshold (threshold)")
+	top := flag.Int("top", 7, "top tier size (federated)")
+	tol := flag.Int("tol", 2, "top tier fault tolerance (federated)")
+	seed := flag.Int64("seed", 1, "generator seed (federated/random)")
+	faultyFlag := flag.String("faulty", "", "comma-separated 1-based faulty process list for guild analysis")
+	kernels := flag.Bool("kernels", false, "enumerate minimal kernels of p1")
+	matrix := flag.Bool("matrix", false, "render the Figure 1 style matrix")
+	flag.Parse()
+
+	sys, err := buildSystem(*system, *n, *f, *top, *tol, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("system: %s\n", *system)
+	fmt.Print(sys.Describe())
+
+	if *matrix {
+		fmt.Println(quorum.RenderMatrix(sys.N(), "trust matrix (Q = quorum of row process, F = fail-prone)",
+			func(p types.ProcessID) types.Set { return sys.Quorums(p)[0] },
+			func(p types.ProcessID) types.Set {
+				if fps := sys.FailProneSets(p); len(fps) > 0 {
+					return fps[0]
+				}
+				return types.NewSet(sys.N())
+			}))
+	}
+
+	if *faultyFlag != "" {
+		faulty, err := parseSet(*faultyFlag, sys.N())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wise := sys.Wise(faulty)
+		naive := sys.Naive(faulty)
+		guild := sys.MaximalGuild(faulty)
+		fmt.Printf("faulty: %v\nwise: %v\nnaive: %v\nmaximal guild: %v (size %d)\n",
+			faulty, wise, naive, guild, guild.Count())
+	}
+
+	if *kernels {
+		ks := sys.MinimalKernels(0, 32)
+		fmt.Printf("minimal kernels of p1 (up to 32): %d\n", len(ks))
+		for _, k := range ks {
+			fmt.Printf("  %v\n", k)
+		}
+	}
+}
+
+func buildSystem(kind string, n, f, top, tol int, seed int64) (*quorum.System, error) {
+	switch kind {
+	case "counterexample":
+		return quorum.Counterexample(), nil
+	case "threshold":
+		return quorum.NewThresholdExplicit(n, f)
+	case "federated":
+		return quorum.NewFederated(quorum.FederatedConfig{
+			N: n, TopTier: top, TrustedPeers: 2, Tolerance: tol, Seed: seed,
+		})
+	case "unl":
+		return quorum.NewUNL(quorum.UNLConfig{
+			N: n, ListSize: top, Deviation: 1, Tolerance: tol, Seed: seed,
+		})
+	case "random":
+		return quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+			N: n, NumSets: 2, MaxFault: max(1, n/5), Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("unknown system %q", kind)
+	}
+}
+
+func parseSet(csv string, n int) (types.Set, error) {
+	s := types.NewSet(n)
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return s, fmt.Errorf("bad process number %q: %w", part, err)
+		}
+		if v < 1 || v > n {
+			return s, fmt.Errorf("process %d out of range 1..%d", v, n)
+		}
+		s.Add(types.ProcessID(v - 1))
+	}
+	return s, nil
+}

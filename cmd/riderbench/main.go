@@ -1,0 +1,94 @@
+// Command riderbench sweeps the consensus protocols across parameters and
+// emits CSV for plotting: per-run commit counts, delivered transactions,
+// virtual-time latency, and message/byte costs.
+//
+// Usage:
+//
+//	riderbench -kind asymmetric -system threshold -n 7 -f 2 -waves 10 -seeds 5
+//	riderbench -kind symmetric  -system threshold -n 4 -f 1 -tx 8
+//	riderbench -kind asymmetric -system counterexample -waves 4
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/harness"
+	"repro/internal/quorum"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "asymmetric", "symmetric | asymmetric")
+	system := flag.String("system", "threshold", "threshold | counterexample | federated")
+	n := flag.Int("n", 7, "processes (threshold/federated)")
+	f := flag.Int("f", 2, "failure threshold (threshold)")
+	waves := flag.Int("waves", 10, "waves per run")
+	seeds := flag.Int("seeds", 3, "seeds per configuration")
+	tx := flag.Int("tx", 4, "transactions per block")
+	flag.Parse()
+
+	var trust quorum.Assumption
+	switch *system {
+	case "threshold":
+		trust = quorum.NewThreshold(*n, *f)
+	case "counterexample":
+		trust = quorum.Counterexample()
+	case "federated":
+		fed, err := quorum.NewFederated(quorum.FederatedConfig{
+			N: *n, TopTier: max(3, *n*2/3), TrustedPeers: 2, Tolerance: 1, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		trust = fed
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	kind := harness.Asymmetric
+	if *kindFlag == "symmetric" {
+		kind = harness.Symmetric
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"kind", "system", "n", "seed", "waves", "max_commits", "median_tx", "vtime", "messages", "bytes"})
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: kind, Trust: trust, NumWaves: *waves, TxPerBlock: *tx,
+			Seed: seed, CoinSeed: seed * 101,
+		})
+		commits, med := summarize(res)
+		_ = w.Write([]string{
+			kind.String(), *system, strconv.Itoa(trust.N()), strconv.FormatInt(seed, 10),
+			strconv.Itoa(*waves), strconv.Itoa(commits), strconv.Itoa(med),
+			strconv.FormatInt(int64(res.EndTime), 10),
+			strconv.Itoa(res.Metrics.MessagesSent), strconv.Itoa(res.Metrics.BytesSent),
+		})
+	}
+}
+
+func summarize(res harness.RiderResult) (maxCommits, medianTx int) {
+	var txs []int
+	for _, nr := range res.Nodes {
+		txs = append(txs, len(nr.Blocks))
+		if len(nr.Commits) > maxCommits {
+			maxCommits = len(nr.Commits)
+		}
+	}
+	if len(txs) == 0 {
+		return 0, 0
+	}
+	// Insertion sort; tiny slice.
+	for i := 1; i < len(txs); i++ {
+		for j := i; j > 0 && txs[j] < txs[j-1]; j-- {
+			txs[j], txs[j-1] = txs[j-1], txs[j]
+		}
+	}
+	return maxCommits, txs[len(txs)/2]
+}

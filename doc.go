@@ -1,0 +1,36 @@
+// Package asymdag is a from-scratch Go implementation of
+// "DAG-based Consensus with Asymmetric Trust" (Amores-Sesar, Cachin,
+// Villacis, Zanolini — PODC 2025, arXiv:2505.17891).
+//
+// It provides:
+//
+//   - Asymmetric Byzantine quorum systems: fail-prone systems, quorums,
+//     kernels, the B3 existence condition, wise/naive classification and
+//     guild computation (paper §2).
+//   - The gather (common core) protocols of §3: the classic three-round
+//     gather, the unsound quorum-replacement variant together with the
+//     paper's 30-process counterexample (Lemma 3.2, Figures 1–4), and the
+//     novel constant-round asymmetric gather (Algorithm 3).
+//   - The first asymmetric DAG-based atomic-broadcast protocol
+//     (Algorithms 4–6), plus the symmetric DAG-Rider baseline, running
+//     over a deterministic discrete-event network simulator with
+//     adversarial scheduling and fault injection.
+//
+// # Quickstart
+//
+//	trust := asymdag.NewThreshold(4, 1) // or any asymmetric System
+//	cluster := asymdag.NewCluster(asymdag.ClusterConfig{
+//		Trust:    trust,
+//		NumWaves: 10,
+//		Seed:     1,
+//	})
+//	cluster.Submit(0, "pay alice 5", "pay bob 3")
+//	result := cluster.Run()
+//	for _, tx := range result.Order(0) {
+//		fmt.Println(tx)
+//	}
+//
+// See the examples/ directory for runnable programs, cmd/experiments for
+// the paper-reproduction harness, and DESIGN.md / EXPERIMENTS.md for the
+// experiment index and measured results.
+package asymdag

@@ -1,0 +1,59 @@
+// Counterexample: walk through the paper's Appendix A. Builds the
+// 30-process Figure 1 system, executes the unsound quorum-replacement
+// gather (Algorithm 2) under the adversarial schedule to show the common
+// core fail (Lemma 3.2), then runs the paper's constant-round asymmetric
+// gather (Algorithm 3) on the identical schedule and watches it succeed.
+//
+//	go run ./examples/counterexample
+package main
+
+import (
+	"fmt"
+
+	asymdag "repro"
+)
+
+func main() {
+	sys := asymdag.Counterexample()
+	n := sys.N()
+	fmt.Printf("Figure 1 system: %d processes, each with a single quorum of size 6\n", n)
+	fmt.Printf("B3 holds: %v — so a valid asymmetric quorum system exists (Theorem 2.4)\n\n", sys.SatisfiesB3())
+
+	// The adversarial schedule: every process hears exactly its canonical
+	// quorum fast, everything else slow.
+	fav := make([]asymdag.Set, n)
+	for i := 0; i < n; i++ {
+		fav[i] = sys.Quorums(asymdag.ProcessID(i))[0]
+	}
+	adversarial := asymdag.FavoredLinksLatency{Favored: fav, Fast: 1, Slow: 100000}
+
+	run := func(kind asymdag.GatherKind) asymdag.GatherResult {
+		return asymdag.RunGather(asymdag.GatherConfig{
+			Kind:    kind,
+			Trust:   sys,
+			Mode:    asymdag.GatherUsePlain, // all-correct Appendix A execution
+			Latency: adversarial,
+			Seed:    1,
+		})
+	}
+
+	// Algorithm 2: quorum replacement. No common core.
+	res2 := run(asymdag.GatherThreeRound)
+	fmt.Printf("Algorithm 2 (quorum replacement): %d/%d delivered, %d messages\n",
+		len(res2.Outputs), n, res2.Metrics.MessagesSent)
+	fmt.Println("sample outputs (note every process misses someone in [16,30]):")
+	for _, p := range []asymdag.ProcessID{0, 5, 14} {
+		fmt.Printf("  %v delivers %v\n", p, res2.Outputs[p].Senders(n))
+	}
+	fmt.Println("⇒ no S set is contained in every output: the common core property FAILS (Lemma 3.2)")
+
+	// Algorithm 3: the paper's constant-round asymmetric gather.
+	res3 := run(asymdag.GatherConstantRound)
+	fmt.Printf("\nAlgorithm 3 (constant-round asymmetric gather): %d/%d delivered, %d messages\n",
+		len(res3.Outputs), n, res3.Metrics.MessagesSent)
+	fmt.Println("⇒ a common core exists on the very same adversarial schedule:")
+	fmt.Println("   the extra ACK/READY/CONFIRM control flow guarantees some process's S set")
+	fmt.Println("   reaches a full quorum before anyone distributes its T set (§3.3)")
+	fmt.Printf("   cost: %.1f× the messages of Algorithm 2\n",
+		float64(res3.Metrics.MessagesSent)/float64(res2.Metrics.MessagesSent))
+}

@@ -1,0 +1,94 @@
+// Faulttolerance: demonstrate the paper's fault model end to end. Runs the
+// asymmetric DAG consensus with (a) crash faults inside every process's
+// fail-prone assumptions (everyone wise — safety and liveness hold), and
+// (b) faults beyond some processes' assumptions (naive processes exist and
+// the guarantees are scoped to the maximal guild).
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asymdag "repro"
+)
+
+func main() {
+	// Asymmetric trust: p1..p6 tolerate {p7} or {p8}; p7, p8 tolerate
+	// {p2, p3} as well. Canonical quorums.
+	n := 8
+	smallFault1 := asymdag.NewSetOf(n, 6) // {p7}
+	smallFault2 := asymdag.NewSetOf(n, 7) // {p8}
+	bigFault := asymdag.NewSetOf(n, 1, 2) // {p2,p3}
+	failProne := make([][]asymdag.Set, n)
+	for i := 0; i < 6; i++ {
+		failProne[i] = []asymdag.Set{smallFault1, smallFault2}
+	}
+	for i := 6; i < 8; i++ {
+		failProne[i] = []asymdag.Set{smallFault1, smallFault2, bigFault}
+	}
+	sys, err := asymdag.Canonical(n, failProne)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatalf("system invalid: %v", err)
+	}
+	fmt.Printf("asymmetric system over %d processes; B3: %v\n\n", n, sys.SatisfiesB3())
+
+	// Scenario A: p7 crashes — inside everyone's assumptions.
+	faultyA := asymdag.NewSetOf(n, 6)
+	guildA := sys.MaximalGuild(faultyA)
+	fmt.Printf("scenario A: %v mute (tolerated by all)\n", faultyA)
+	fmt.Printf("  wise: %v, guild: %v\n", sys.Wise(faultyA), guildA)
+	resA := asymdag.RunConsensus(asymdag.RiderConfig{
+		Kind: asymdag.RiderAsymmetric, Trust: sys, NumWaves: 8, TxPerBlock: 2,
+		Seed: 1, CoinSeed: 1,
+		Faulty: map[asymdag.ProcessID]asymdag.FaultBehavior{6: asymdag.Mute()},
+	})
+	report(resA, guildA)
+
+	// Scenario B: p2 and p3 crash — only p7/p8 foresaw this, but they
+	// cannot form a guild alone: the maximal guild is empty and no
+	// liveness is promised (safety still never breaks).
+	faultyB := asymdag.NewSetOf(n, 1, 2)
+	guildB := sys.MaximalGuild(faultyB)
+	fmt.Printf("\nscenario B: %v mute (beyond most assumptions)\n", faultyB)
+	fmt.Printf("  wise: %v, naive: %v, guild: %v (size %d)\n",
+		sys.Wise(faultyB), sys.Naive(faultyB), guildB, guildB.Count())
+	resB := asymdag.RunConsensus(asymdag.RiderConfig{
+		Kind: asymdag.RiderAsymmetric, Trust: sys, NumWaves: 8, TxPerBlock: 2,
+		Seed: 2, CoinSeed: 2,
+		Faulty: map[asymdag.ProcessID]asymdag.FaultBehavior{1: asymdag.Mute(), 2: asymdag.Mute()},
+	})
+	correctB := faultyB.Complement()
+	committed := 0
+	for _, p := range correctB.Members() {
+		if resB.Nodes[p].DecidedWave > 0 {
+			committed++
+		}
+	}
+	fmt.Printf("  correct processes that committed: %d (no guild ⇒ no liveness promise)\n", committed)
+	if err := resB.CheckTotalOrder(correctB); err != nil {
+		log.Fatalf("  SAFETY violated: %v", err)
+	}
+	fmt.Println("  total order still holds among all correct processes (safety is unconditional) ✓")
+}
+
+func report(res asymdag.RiderResult, guild asymdag.Set) {
+	committed := 0
+	for _, p := range guild.Members() {
+		if res.Nodes[p].DecidedWave > 0 {
+			committed++
+		}
+	}
+	fmt.Printf("  guild members committed: %d/%d\n", committed, guild.Count())
+	if err := res.CheckTotalOrder(guild); err != nil {
+		log.Fatalf("  total order violated: %v", err)
+	}
+	if err := res.CheckAgreement(guild); err != nil {
+		log.Fatalf("  agreement violated: %v", err)
+	}
+	fmt.Println("  total order + agreement hold for the guild ✓")
+}

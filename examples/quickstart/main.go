@@ -1,0 +1,49 @@
+// Quickstart: run a 4-process asymmetric DAG consensus cluster with
+// threshold trust, submit transactions at different processes, and print
+// the totally ordered log every process agrees on.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	asymdag "repro"
+)
+
+func main() {
+	// The threshold assumption n=4, f=1 is the simplest asymmetric system
+	// (every process makes the same assumption). Any *asymdag.System works
+	// in its place — see examples/federated.
+	trust := asymdag.NewThreshold(4, 1)
+
+	cluster := asymdag.NewCluster(asymdag.ClusterConfig{
+		Trust:    trust,
+		NumWaves: 10,
+		Seed:     42,
+		CoinSeed: 7,
+	})
+
+	// Clients submit transactions at whatever process they talk to.
+	cluster.Submit(0, "alice->bob:5", "alice->carol:2")
+	cluster.Submit(1, "bob->dave:1")
+	cluster.Submit(2, "carol->alice:9", "dave->bob:4")
+	cluster.Submit(3, "erin->frank:8")
+
+	res := cluster.Run()
+
+	fmt.Printf("network: %d messages, %d bytes, virtual time %d\n",
+		res.Messages, res.Bytes, res.VTime)
+	fmt.Printf("orders agree across all processes: %v\n\n", res.OrdersAgree())
+
+	for p := 0; p < 4; p++ {
+		id := asymdag.ProcessID(p)
+		fmt.Printf("%v: committed %d waves, reached round %d, delivered %d txs\n",
+			id, res.Commits(id), res.Round(id), len(res.Order(id)))
+	}
+
+	fmt.Println("\ntotally ordered log (process p1's view):")
+	for i, tx := range res.Order(0) {
+		fmt.Printf("%3d. %s\n", i+1, tx)
+	}
+}

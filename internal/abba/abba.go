@@ -1,0 +1,293 @@
+// Package abba implements asymmetric binary Byzantine agreement: the
+// randomized binary consensus with asymmetric quorums of Alpos et al.
+// ("Asymmetric distributed trust"), which the paper cites as an existing
+// asymmetric primitive (§1, §2.3) and whose quorum/kernel style the novel
+// gather and consensus protocols follow.
+//
+// The protocol is the signature-free randomized consensus of Mostéfaoui,
+// Moumen and Raynal, with threshold rules generalized:
+//
+//	round r:
+//	  1. BV-broadcast the current estimate: relay VAL(r,b) after a kernel
+//	     of them, accept b into binValues(r) after a quorum.
+//	  2. Once binValues(r) is non-empty, broadcast AUX(r, w) with some
+//	     w ∈ binValues(r).
+//	  3. Wait for AUX messages from one of the local quorums whose values
+//	     all lie in binValues(r); let V be their value set.
+//	  4. Draw the common coin bit s = coin(r):
+//	     V = {b} and b == s → decide(b);
+//	     V = {b} and b != s → estimate = b;
+//	     V = {0,1}          → estimate = s.
+//
+// Safety (agreement, validity) holds for wise processes; termination with
+// probability 1 for the maximal guild. Termination uses the standard
+// Bracha gadget: deciders broadcast DECIDE(b); a kernel of DECIDEs is
+// relayed, a quorum of DECIDEs halts the process. Deciders keep
+// participating in rounds until the quorum of DECIDEs forms, so stragglers
+// are never starved of VAL/AUX messages.
+package abba
+
+import (
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Message types.
+
+type valMsg struct {
+	Round int
+	B     int
+}
+
+type auxMsg struct {
+	Round int
+	B     int
+}
+
+type decideMsg struct {
+	B int
+}
+
+// Config configures one binary-agreement node.
+type Config struct {
+	Trust quorum.Assumption
+	// Coin yields the per-round common bit.
+	Coin coin.PRF
+	// Input is the node's proposal (0 or 1).
+	Input int
+	// MaxRounds stops the node after this many rounds without a decision
+	// so simulations quiesce (0 means 64).
+	MaxRounds int
+}
+
+// roundState holds the per-round BV/AUX bookkeeping.
+type roundState struct {
+	valRecv   [2]types.Set // who sent VAL(b)
+	relayed   [2]bool
+	binValues [2]bool
+	auxRecv   [2]types.Set // who sent AUX(b)
+	auxSent   bool
+	done      bool
+}
+
+// Node is one process running the binary agreement.
+type Node struct {
+	cfg  Config
+	self types.ProcessID
+	n    int
+
+	round    int
+	estimate int
+
+	rounds map[int]*roundState
+
+	decided  bool
+	decision int
+	// decidedRound records when the decision happened (for latency
+	// experiments).
+	decidedRound int
+
+	decideRecv [2]types.Set
+	sentDecide bool
+	halted     bool
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// NewNode creates a binary-agreement node; the protocol starts at Init.
+func NewNode(cfg Config) *Node {
+	if cfg.Input != 0 && cfg.Input != 1 {
+		panic("abba: input must be 0 or 1")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 64
+	}
+	return &Node{cfg: cfg, estimate: cfg.Input, rounds: map[int]*roundState{}}
+}
+
+func (n *Node) state(r int) *roundState {
+	st, ok := n.rounds[r]
+	if !ok {
+		st = &roundState{}
+		for b := 0; b < 2; b++ {
+			st.valRecv[b] = types.NewSet(n.n)
+			st.auxRecv[b] = types.NewSet(n.n)
+		}
+		n.rounds[r] = st
+	}
+	return st
+}
+
+// Init implements sim.Node.
+func (n *Node) Init(env sim.Env) {
+	n.self = env.Self()
+	n.n = env.N()
+	n.decideRecv[0] = types.NewSet(n.n)
+	n.decideRecv[1] = types.NewSet(n.n)
+	n.round = 1
+	n.startRound(env)
+}
+
+// startRound BV-broadcasts the current estimate.
+func (n *Node) startRound(env sim.Env) {
+	st := n.state(n.round)
+	if !st.relayed[n.estimate] {
+		st.relayed[n.estimate] = true
+		env.Broadcast(valMsg{Round: n.round, B: n.estimate})
+	}
+	n.progress(env)
+}
+
+// Receive implements sim.Node.
+func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if n.halted {
+		return
+	}
+	switch m := msg.(type) {
+	case decideMsg:
+		if m.B != 0 && m.B != 1 {
+			return
+		}
+		n.decideRecv[m.B].Add(from)
+		if !n.sentDecide && n.cfg.Trust.HasKernelWithin(n.self, n.decideRecv[m.B]) {
+			n.sentDecide = true
+			env.Broadcast(decideMsg{B: m.B})
+		}
+		if n.cfg.Trust.HasQuorumWithin(n.self, n.decideRecv[m.B]) {
+			if !n.decided {
+				n.decided = true
+				n.decision = m.B
+				n.decidedRound = n.round
+			}
+			n.halted = true
+		}
+		return
+	case valMsg:
+		if m.B != 0 && m.B != 1 {
+			return
+		}
+		st := n.state(m.Round)
+		st.valRecv[m.B].Add(from)
+		// Kernel relay (totality of BV-broadcast).
+		if !st.relayed[m.B] && n.cfg.Trust.HasKernelWithin(n.self, st.valRecv[m.B]) {
+			st.relayed[m.B] = true
+			env.Broadcast(valMsg{Round: m.Round, B: m.B})
+		}
+		// Quorum acceptance.
+		if !st.binValues[m.B] && n.cfg.Trust.HasQuorumWithin(n.self, st.valRecv[m.B]) {
+			st.binValues[m.B] = true
+		}
+	case auxMsg:
+		if m.B != 0 && m.B != 1 {
+			return
+		}
+		st := n.state(m.Round)
+		st.auxRecv[m.B].Add(from)
+	default:
+		return
+	}
+	n.progress(env)
+}
+
+// progress advances the current round's phases as far as possible.
+func (n *Node) progress(env sim.Env) {
+	for {
+		if n.round > n.cfg.MaxRounds {
+			return
+		}
+		st := n.state(n.round)
+		// Phase 2: send AUX once binValues is non-empty.
+		if !st.auxSent && (st.binValues[0] || st.binValues[1]) {
+			st.auxSent = true
+			w := 0
+			if st.binValues[1] {
+				w = 1
+			}
+			env.Broadcast(auxMsg{Round: n.round, B: w})
+		}
+		if !st.auxSent || st.done {
+			return
+		}
+		// Phase 3: a quorum of AUX senders whose values ⊆ binValues.
+		vals, ok := n.auxQuorumValues(st)
+		if !ok {
+			return
+		}
+		// Phase 4: coin.
+		st.done = true
+		s := n.cfg.Coin.Bit(n.round)
+		if len(vals) == 1 {
+			b := vals[0]
+			if b == s && !n.decided {
+				n.decided = true
+				n.decision = b
+				n.decidedRound = n.round
+				if !n.sentDecide {
+					n.sentDecide = true
+					env.Broadcast(decideMsg{B: b})
+				}
+			}
+			n.estimate = b
+		} else {
+			n.estimate = s
+		}
+		n.round++
+		nst := n.state(n.round)
+		if !nst.relayed[n.estimate] {
+			nst.relayed[n.estimate] = true
+			env.Broadcast(valMsg{Round: n.round, B: n.estimate})
+		}
+	}
+}
+
+// auxQuorumValues looks for a quorum of AUX senders whose values all lie
+// in binValues; it returns the distinct values of one such quorum.
+func (n *Node) auxQuorumValues(st *roundState) ([]int, bool) {
+	// Candidate sender sets, restricted to values within binValues.
+	both := types.NewSet(n.n)
+	var vals []int
+	for b := 0; b < 2; b++ {
+		if st.binValues[b] {
+			both.UnionInPlace(st.auxRecv[b])
+		}
+	}
+	// Prefer single-value quorums (more decisive outcome).
+	for b := 0; b < 2; b++ {
+		if st.binValues[b] && n.cfg.Trust.HasQuorumWithin(n.self, st.auxRecv[b]) {
+			return []int{b}, true
+		}
+	}
+	if n.cfg.Trust.HasQuorumWithin(n.self, both) {
+		if st.binValues[0] && !st.auxRecv[0].IsEmpty() {
+			vals = append(vals, 0)
+		}
+		if st.binValues[1] && !st.auxRecv[1].IsEmpty() {
+			vals = append(vals, 1)
+		}
+		if len(vals) > 0 {
+			return vals, true
+		}
+	}
+	return nil, false
+}
+
+// Decided reports the decision, if reached.
+func (n *Node) Decided() (int, bool) {
+	if !n.decided {
+		return 0, false
+	}
+	return n.decision, true
+}
+
+// DecidedRound returns the round the decision happened in (0 if none).
+func (n *Node) DecidedRound() int {
+	if !n.decided {
+		return 0
+	}
+	return n.decidedRound
+}
+
+// Round returns the node's current round.
+func (n *Node) Round() int { return n.round }

@@ -1,0 +1,224 @@
+package abba
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coin"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// run executes a binary-agreement cluster and returns the decisions.
+func run(t *testing.T, trust quorum.Assumption, inputs []int, seed int64, faulty map[types.ProcessID]sim.Node) map[types.ProcessID]int {
+	t.Helper()
+	n := trust.N()
+	nodes := make([]sim.Node, n)
+	raw := make([]*Node, n)
+	for i := range nodes {
+		nd := NewNode(Config{
+			Trust: trust,
+			Coin:  coin.NewPRF(seed*977+13, n),
+			Input: inputs[i],
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	for p, f := range faulty {
+		nodes[p] = f
+		raw[p] = nil
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: sim.UniformLatency{Min: 1, Max: 30}}, nodes)
+	r.Run(0)
+	out := map[types.ProcessID]int{}
+	for i, nd := range raw {
+		if nd == nil {
+			continue
+		}
+		if d, ok := nd.Decided(); ok {
+			out[types.ProcessID(i)] = d
+		}
+	}
+	return out
+}
+
+func TestUnanimousInputsDecideThatValue(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	for _, v := range []int{0, 1} {
+		inputs := []int{v, v, v, v}
+		for seed := int64(0); seed < 5; seed++ {
+			dec := run(t, trust, inputs, seed, nil)
+			if len(dec) != 4 {
+				t.Fatalf("v=%d seed=%d: %d of 4 decided", v, seed, len(dec))
+			}
+			for p, d := range dec {
+				if d != v {
+					t.Fatalf("v=%d seed=%d: %v decided %d (validity violated)", v, seed, p, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedInputsAgree(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	for seed := int64(0); seed < 20; seed++ {
+		inputs := []int{0, 1, 0, 1}
+		dec := run(t, trust, inputs, seed, nil)
+		if len(dec) != 4 {
+			t.Fatalf("seed %d: %d of 4 decided", seed, len(dec))
+		}
+		first := -1
+		for _, d := range dec {
+			if first == -1 {
+				first = d
+			} else if first != d {
+				t.Fatalf("seed %d: agreement violated (%v)", seed, dec)
+			}
+		}
+	}
+}
+
+func TestWithCrashFault(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	for seed := int64(0); seed < 10; seed++ {
+		inputs := []int{1, 0, 1, 0}
+		dec := run(t, trust, inputs, seed, map[types.ProcessID]sim.Node{3: sim.MuteNode{}})
+		if len(dec) != 3 {
+			t.Fatalf("seed %d: %d of 3 correct decided", seed, len(dec))
+		}
+		first := -1
+		for _, d := range dec {
+			if first == -1 {
+				first = d
+			} else if first != d {
+				t.Fatalf("seed %d: agreement violated", seed)
+			}
+		}
+	}
+}
+
+func TestLargerThreshold(t *testing.T) {
+	trust := quorum.NewThreshold(7, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		inputs := make([]int, 7)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+		dec := run(t, trust, inputs, int64(trial), map[types.ProcessID]sim.Node{6: sim.MuteNode{}})
+		if len(dec) != 6 {
+			t.Fatalf("trial %d: %d of 6 decided", trial, len(dec))
+		}
+		first := -1
+		for _, d := range dec {
+			if first == -1 {
+				first = d
+			} else if first != d {
+				t.Fatalf("trial %d: disagreement", trial)
+			}
+		}
+	}
+}
+
+func TestAsymmetricSystemAgreement(t *testing.T) {
+	sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{N: 8, NumSets: 2, MaxFault: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		inputs := make([]int, 8)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+		dec := run(t, sys, inputs, int64(trial), nil)
+		if len(dec) != 8 {
+			t.Fatalf("trial %d: %d of 8 decided", trial, len(dec))
+		}
+		first := -1
+		for _, d := range dec {
+			if first == -1 {
+				first = d
+			} else if first != d {
+				t.Fatalf("trial %d: disagreement on asymmetric system", trial)
+			}
+		}
+	}
+}
+
+func TestCounterexampleSystemAgreement(t *testing.T) {
+	sys := quorum.Counterexample()
+	inputs := make([]int, 30)
+	for i := range inputs {
+		inputs[i] = i % 2
+	}
+	dec := run(t, sys, inputs, 2, nil)
+	if len(dec) != 30 {
+		t.Fatalf("%d of 30 decided", len(dec))
+	}
+	first := -1
+	for _, d := range dec {
+		if first == -1 {
+			first = d
+		} else if first != d {
+			t.Fatal("disagreement on counterexample system")
+		}
+	}
+}
+
+func TestExpectedConstantRounds(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	totalRounds, decisions := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		n := trust.N()
+		nodes := make([]sim.Node, n)
+		raw := make([]*Node, n)
+		for i := range nodes {
+			nd := NewNode(Config{Trust: trust, Coin: coin.NewPRF(seed, n), Input: i % 2})
+			nodes[i] = nd
+			raw[i] = nd
+		}
+		r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: sim.UniformLatency{Min: 1, Max: 20}}, nodes)
+		r.Run(0)
+		for _, nd := range raw {
+			if _, ok := nd.Decided(); ok {
+				totalRounds += nd.DecidedRound()
+				decisions++
+			}
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("no decisions")
+	}
+	mean := float64(totalRounds) / float64(decisions)
+	// Randomized consensus decides in expected O(1) rounds; with a fair
+	// coin ≈ 2–3.
+	if mean > 5 {
+		t.Errorf("mean decision round %.2f too high for constant-round expectation", mean)
+	}
+	t.Logf("mean decision round: %.2f over %d decisions", mean, decisions)
+}
+
+func TestNewNodePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for input outside {0,1}")
+		}
+	}()
+	NewNode(Config{Trust: quorum.NewThreshold(4, 1), Input: 2})
+}
+
+func TestRoundAccessor(t *testing.T) {
+	nd := NewNode(Config{Trust: quorum.NewThreshold(4, 1), Input: 1})
+	if nd.Round() != 0 {
+		t.Error("round before Init should be 0")
+	}
+	if _, ok := nd.Decided(); ok {
+		t.Error("decided before run")
+	}
+	if nd.DecidedRound() != 0 {
+		t.Error("DecidedRound before decision should be 0")
+	}
+}

@@ -1,0 +1,239 @@
+// Package acs implements asymmetric Agreement on a Core Set — the
+// primitive the paper contrasts with gather in §2.4: where gather only
+// guarantees a common core *inside* possibly different outputs, ACS makes
+// all processes agree on an *identical* output set. ACS is equivalent to
+// consensus, so it costs expected-constant time rather than gather's
+// deterministic constant (the paper's point), which this package makes
+// concrete and measurable.
+//
+// Construction (Ben-Or–Kelmer–Rabin composition, asymmetric throughout):
+//
+//  1. Run the constant-round asymmetric gather (Algorithm 3) on the
+//     inputs.
+//  2. When the gather ag-delivers U, feed n parallel instances of the
+//     asymmetric binary agreement (internal/abba): instance j gets input
+//     1 iff (p_j, ·) ∈ U.
+//  3. The output is { (p_j, v_j) : instance j decided 1 }, emitted once
+//     every instance has decided and the value of every 1-decided process
+//     has been arb-delivered (totality guarantees it will be).
+//
+// Properties: all maximal-guild processes output the same set (per-
+// instance agreement + broadcast consistency); the set contains the
+// gather's common core, hence the inputs of at least one quorum (every
+// wise process inputs 1 for core members, so unanimity-validity of the
+// binary agreement forces those instances to 1).
+package acs
+
+import (
+	"repro/internal/abba"
+	"repro/internal/coin"
+	"repro/internal/gather"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Config configures one ACS node.
+type Config struct {
+	Trust quorum.Assumption
+	// Input is this process's proposed value.
+	Input string
+	// CoinSeed derives the per-instance binary-agreement coins; all nodes
+	// of a run must share it.
+	CoinSeed int64
+	// Mode selects the gather's dissemination layer.
+	Mode gather.Dissemination
+}
+
+// wrapMsg routes a binary-agreement message to its instance.
+type wrapMsg struct {
+	Idx   int
+	Inner sim.Message
+}
+
+// Node is one process running asymmetric ACS.
+type Node struct {
+	cfg  Config
+	self types.ProcessID
+	n    int
+
+	g *gather.ConstantRoundNode
+
+	aba     []*abba.Node
+	started []bool
+	pending [][]pendingMsg // buffered wrapped messages per instance
+
+	output Pairs
+	done   bool
+}
+
+// Pairs re-exports the gather pair-set for ACS outputs.
+type Pairs = gather.Pairs
+
+type pendingMsg struct {
+	from types.ProcessID
+	msg  sim.Message
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// NewNode creates an ACS node; the protocol starts at Init.
+func NewNode(cfg Config) *Node {
+	return &Node{
+		cfg: cfg,
+		g: gather.NewConstantRoundNode(gather.Config{
+			Trust: cfg.Trust,
+			Input: cfg.Input,
+			Mode:  cfg.Mode,
+		}),
+	}
+}
+
+// wrapEnv re-wraps every message an instance sends with its index.
+type wrapEnv struct {
+	sim.Env
+	idx int
+}
+
+func (w wrapEnv) Send(to types.ProcessID, msg sim.Message) {
+	w.Env.Send(to, wrapMsg{Idx: w.idx, Inner: msg})
+}
+
+func (w wrapEnv) Broadcast(msg sim.Message) {
+	for to := 0; to < w.Env.N(); to++ {
+		w.Env.Send(types.ProcessID(to), wrapMsg{Idx: w.idx, Inner: msg})
+	}
+}
+
+// Init implements sim.Node.
+func (n *Node) Init(env sim.Env) {
+	n.self = env.Self()
+	n.n = env.N()
+	n.aba = make([]*abba.Node, n.n)
+	n.started = make([]bool, n.n)
+	n.pending = make([][]pendingMsg, n.n)
+	n.g.Init(env)
+	n.afterGather(env)
+}
+
+// afterGather starts the binary agreements once the gather delivered.
+func (n *Node) afterGather(env sim.Env) {
+	u, ok := n.g.Delivered()
+	if !ok {
+		return
+	}
+	for j := 0; j < n.n; j++ {
+		if n.started[j] {
+			continue
+		}
+		n.started[j] = true
+		input := 0
+		if _, in := u[types.ProcessID(j)]; in {
+			input = 1
+		}
+		n.aba[j] = abba.NewNode(abba.Config{
+			Trust: n.cfg.Trust,
+			Coin:  coin.NewPRF(n.cfg.CoinSeed*1000003+int64(j), n.n),
+			Input: input,
+		})
+		we := wrapEnv{Env: env, idx: j}
+		n.aba[j].Init(we)
+		for _, pm := range n.pending[j] {
+			n.aba[j].Receive(we, pm.from, pm.msg)
+		}
+		n.pending[j] = nil
+	}
+	n.tryFinish()
+}
+
+// Receive implements sim.Node.
+func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if w, ok := msg.(wrapMsg); ok {
+		if w.Idx < 0 || w.Idx >= n.n {
+			return
+		}
+		if !n.started[w.Idx] {
+			n.pending[w.Idx] = append(n.pending[w.Idx], pendingMsg{from: from, msg: w.Inner})
+			return
+		}
+		n.aba[w.Idx].Receive(wrapEnv{Env: env, idx: w.Idx}, from, w.Inner)
+		n.tryFinish()
+		return
+	}
+	n.g.Receive(env, from, msg)
+	n.afterGather(env)
+	n.tryFinish()
+}
+
+// tryFinish assembles the output once every instance decided and all
+// 1-decided values are known.
+func (n *Node) tryFinish() {
+	if n.done || n.aba == nil {
+		return
+	}
+	known := n.g.KnownInputs()
+	out := gather.NewPairs()
+	for j := 0; j < n.n; j++ {
+		if n.aba[j] == nil {
+			return
+		}
+		d, ok := n.aba[j].Decided()
+		if !ok {
+			return
+		}
+		if d == 1 {
+			v, have := known[types.ProcessID(j)]
+			if !have {
+				return // value not yet arb-delivered; totality will bring it
+			}
+			out.Set(types.ProcessID(j), v)
+		}
+	}
+	n.output = out
+	n.done = true
+}
+
+// Output returns the agreed core set, if the protocol finished.
+func (n *Node) Output() (Pairs, bool) {
+	if !n.done {
+		return nil, false
+	}
+	return n.output, true
+}
+
+// RunCluster executes one ACS instance across trust.N() simulated
+// processes; process p proposes gather.InputValue(p).
+func RunCluster(trust quorum.Assumption, mode gather.Dissemination, latency sim.LatencyModel, seed, coinSeed int64, faulty map[types.ProcessID]sim.Node) map[types.ProcessID]Pairs {
+	n := trust.N()
+	nodes := make([]sim.Node, n)
+	raw := make([]*Node, n)
+	for i := range nodes {
+		nd := NewNode(Config{
+			Trust:    trust,
+			Input:    gather.InputValue(types.ProcessID(i)),
+			CoinSeed: coinSeed,
+			Mode:     mode,
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	for p, f := range faulty {
+		nodes[p] = f
+		raw[p] = nil
+	}
+	if latency == nil {
+		latency = sim.UniformLatency{Min: 1, Max: 20}
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: latency}, nodes)
+	r.Run(0)
+	out := map[types.ProcessID]Pairs{}
+	for i, nd := range raw {
+		if nd == nil {
+			continue
+		}
+		if o, ok := nd.Output(); ok {
+			out[types.ProcessID(i)] = o
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package acs
+
+import (
+	"testing"
+
+	"repro/internal/gather"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func assertIdenticalOutputs(t *testing.T, outputs map[types.ProcessID]Pairs, expect int) Pairs {
+	t.Helper()
+	if len(outputs) != expect {
+		t.Fatalf("%d of %d processes produced an output", len(outputs), expect)
+	}
+	var ref Pairs
+	for _, o := range outputs {
+		if ref == nil {
+			ref = o
+			continue
+		}
+		if !ref.ContainsAll(o) || !o.ContainsAll(ref) {
+			t.Fatalf("ACS outputs differ: %v vs %v", ref, o)
+		}
+	}
+	return ref
+}
+
+func TestACSThresholdAllCorrect(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	for seed := int64(0); seed < 8; seed++ {
+		outputs := RunCluster(trust, gather.UseReliable, sim.UniformLatency{Min: 1, Max: 30}, seed, seed+100, nil)
+		ref := assertIdenticalOutputs(t, outputs, 4)
+		// Core set must contain at least a quorum's worth of inputs.
+		if ref.Len() < 3 {
+			t.Fatalf("seed %d: core set %v smaller than a quorum", seed, ref)
+		}
+		// Values are genuine.
+		for p, v := range ref {
+			if v != gather.InputValue(p) {
+				t.Fatalf("seed %d: wrong value for %v: %q", seed, p, v)
+			}
+		}
+	}
+}
+
+func TestACSIdenticalVsGatherDiffering(t *testing.T) {
+	// The §2.4 distinction made concrete: gather outputs may differ
+	// between processes; ACS outputs never do.
+	trust := quorum.NewThreshold(7, 2)
+	seed := int64(3)
+
+	gres := gather.RunCluster(gather.RunConfig{
+		Kind: gather.KindConstantRound, Trust: trust, Mode: gather.UseReliable,
+		Latency: sim.UniformLatency{Min: 1, Max: 50}, Seed: seed,
+	})
+	differ := false
+	var prev gather.Pairs
+	for _, out := range gres.Outputs {
+		if prev != nil && (!prev.ContainsAll(out) || !out.ContainsAll(prev)) {
+			differ = true
+		}
+		prev = out
+	}
+	_ = differ // gather outputs MAY differ (often do); no assertion either way
+
+	outputs := RunCluster(trust, gather.UseReliable, sim.UniformLatency{Min: 1, Max: 50}, seed, 9, nil)
+	assertIdenticalOutputs(t, outputs, 7)
+}
+
+func TestACSWithCrashFaults(t *testing.T) {
+	trust := quorum.NewThreshold(7, 2)
+	faulty := map[types.ProcessID]sim.Node{
+		5: sim.MuteNode{},
+		6: sim.MuteNode{},
+	}
+	outputs := RunCluster(trust, gather.UseReliable, sim.UniformLatency{Min: 1, Max: 25}, 4, 5, faulty)
+	ref := assertIdenticalOutputs(t, outputs, 5)
+	if ref.Len() < 5 { // n-f quorum of 5 must survive
+		t.Fatalf("core set %v too small under crashes", ref)
+	}
+}
+
+func TestACSAsymmetricSystem(t *testing.T) {
+	sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{N: 8, NumSets: 2, MaxFault: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := RunCluster(sys, gather.UseReliable, sim.UniformLatency{Min: 1, Max: 30}, 7, 8, nil)
+	assertIdenticalOutputs(t, outputs, 8)
+}
+
+func TestACSCounterexampleSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30-process ACS is slow")
+	}
+	sys := quorum.Counterexample()
+	outputs := RunCluster(sys, gather.UsePlain, sim.UniformLatency{Min: 1, Max: 30}, 1, 2, nil)
+	ref := assertIdenticalOutputs(t, outputs, 30)
+	// The agreed set must contain some process's entire quorum.
+	senders := ref.Senders(30)
+	if !quorum.HasAnyQuorumWithin(sys, senders) {
+		t.Fatalf("agreed core %v contains no quorum", senders)
+	}
+}
+
+func TestACSOutputAccessors(t *testing.T) {
+	nd := NewNode(Config{Trust: quorum.NewThreshold(4, 1), Input: "x"})
+	if _, ok := nd.Output(); ok {
+		t.Fatal("output before running")
+	}
+}

@@ -1,0 +1,339 @@
+// Package broadcast implements the broadcast primitives the paper's
+// protocols build on, in the asymmetric-trust model of Alpos et al.
+// ("Asymmetric distributed trust", §2.3 of the paper):
+//
+//   - Reliable broadcast (asymmetric Bracha): SEND → ECHO → READY with the
+//     threshold rules generalized to quorums and kernels. A process sends
+//     READY after an ECHO quorum, amplifies READY after a READY kernel, and
+//     delivers after a READY quorum. Guarantees validity, consistency,
+//     integrity and totality for processes in the maximal guild.
+//   - Consistent broadcast: SEND → ECHO, deliver on an ECHO quorum. Weaker
+//     (no totality) but cheaper.
+//   - Plain best-effort broadcast: direct point-to-point sends. Equivalent
+//     to reliable broadcast when the sender is correct and useful for the
+//     all-correct adversarial-scheduling executions of Appendix A.
+//
+// The same implementation covers the classic symmetric/threshold protocols:
+// instantiate with quorum.Threshold and the quorum/kernel predicates become
+// the familiar 2f+1 / f+1 counting rules.
+package broadcast
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Payload is the application data carried by a broadcast. Key must be a
+// collision-resistant digest of the content: two payloads are "the same
+// message" exactly when their keys are equal. This is what equivocation
+// detection counts on.
+type Payload interface {
+	Key() string
+}
+
+// Bytes is a convenience Payload for raw data.
+type Bytes []byte
+
+// Key implements Payload with a SHA-256 digest.
+func (b Bytes) Key() string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SimSize implements sim.Sizer.
+func (b Bytes) SimSize() int { return len(b) }
+
+// Slot identifies one broadcast instance: the originator and a per-
+// originator sequence number (DAG protocols use the round number).
+type Slot struct {
+	Src types.ProcessID
+	Seq uint64
+}
+
+// Deliver is the upcall invoked exactly once per delivered slot.
+type Deliver func(env sim.Env, slot Slot, payload Payload)
+
+// Broadcaster is the common interface of the three primitives, so protocol
+// code (gather, DAG consensus) can be parameterized over the dissemination
+// layer.
+type Broadcaster interface {
+	// Broadcast disseminates payload in the given slot. Each (originator,
+	// seq) slot must be used at most once by a correct process.
+	Broadcast(env sim.Env, seq uint64, payload Payload)
+	// Handle processes a network message, returning true if the message
+	// belonged to this broadcaster.
+	Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool
+}
+
+func payloadSize(p Payload) int {
+	if s, ok := p.(sim.Sizer); ok {
+		return s.SimSize()
+	}
+	return 32
+}
+
+// Message types. Exported fields only (they are "on the wire"); the types
+// themselves are unexported to keep the package API small.
+
+type sendMsg struct {
+	Slot    Slot
+	Payload Payload
+}
+
+func (m sendMsg) SimSize() int { return 16 + payloadSize(m.Payload) }
+
+type echoMsg struct {
+	Slot    Slot
+	Payload Payload
+}
+
+func (m echoMsg) SimSize() int { return 16 + payloadSize(m.Payload) }
+
+type readyMsg struct {
+	Slot    Slot
+	Payload Payload
+}
+
+func (m readyMsg) SimSize() int { return 16 + payloadSize(m.Payload) }
+
+// Reliable is the asymmetric reliable broadcast (Bracha-style). One
+// Reliable instance per process multiplexes all slots.
+type Reliable struct {
+	self    types.ProcessID
+	trust   quorum.Assumption
+	deliver Deliver
+	slots   map[Slot]*rbSlot
+	nextSeq uint64
+}
+
+type rbSlot struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[string]types.Set // payload key -> echoers
+	readies   map[string]types.Set // payload key -> ready senders
+	payloads  map[string]Payload
+}
+
+var _ Broadcaster = (*Reliable)(nil)
+
+// NewReliable creates the reliable broadcast component for one process.
+func NewReliable(self types.ProcessID, trust quorum.Assumption, deliver Deliver) *Reliable {
+	return &Reliable{
+		self:    self,
+		trust:   trust,
+		deliver: deliver,
+		slots:   map[Slot]*rbSlot{},
+	}
+}
+
+// NextSeq returns a fresh sequence number for this originator.
+func (r *Reliable) NextSeq() uint64 {
+	s := r.nextSeq
+	r.nextSeq++
+	return s
+}
+
+// Broadcast implements Broadcaster.
+func (r *Reliable) Broadcast(env sim.Env, seq uint64, payload Payload) {
+	env.Broadcast(sendMsg{Slot: Slot{Src: r.self, Seq: seq}, Payload: payload})
+}
+
+func (r *Reliable) slot(s Slot) *rbSlot {
+	st, ok := r.slots[s]
+	if !ok {
+		st = &rbSlot{
+			echoes:   map[string]types.Set{},
+			readies:  map[string]types.Set{},
+			payloads: map[string]Payload{},
+		}
+		r.slots[s] = st
+	}
+	return st
+}
+
+func (r *Reliable) record(m map[string]types.Set, n int, key string, from types.ProcessID) types.Set {
+	s, ok := m[key]
+	if !ok {
+		s = types.NewSet(n)
+	}
+	s.Add(from)
+	m[key] = s
+	return s
+}
+
+// Handle implements Broadcaster.
+func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case sendMsg:
+		// Authenticated links: a SEND must come from its claimed source.
+		if m.Slot.Src != from {
+			return true // drop forgery
+		}
+		st := r.slot(m.Slot)
+		if st.sentEcho {
+			return true // echo only the first payload per slot
+		}
+		st.sentEcho = true
+		st.payloads[m.Payload.Key()] = m.Payload
+		env.Broadcast(echoMsg{Slot: m.Slot, Payload: m.Payload})
+	case echoMsg:
+		st := r.slot(m.Slot)
+		key := m.Payload.Key()
+		st.payloads[key] = m.Payload
+		echoers := r.record(st.echoes, env.N(), key, from)
+		if !st.sentReady && r.trust.HasQuorumWithin(r.self, echoers) {
+			st.sentReady = true
+			env.Broadcast(readyMsg{Slot: m.Slot, Payload: m.Payload})
+		}
+	case readyMsg:
+		st := r.slot(m.Slot)
+		key := m.Payload.Key()
+		st.payloads[key] = m.Payload
+		readiers := r.record(st.readies, env.N(), key, from)
+		if !st.sentReady && r.trust.HasKernelWithin(r.self, readiers) {
+			st.sentReady = true
+			env.Broadcast(readyMsg{Slot: m.Slot, Payload: m.Payload})
+		}
+		if !st.delivered && r.trust.HasQuorumWithin(r.self, readiers) {
+			st.delivered = true
+			r.deliver(env, m.Slot, m.Payload)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// Consistent is the asymmetric consistent broadcast (echo broadcast):
+// deliver on an ECHO quorum. It provides consistency but not totality.
+type Consistent struct {
+	self    types.ProcessID
+	trust   quorum.Assumption
+	deliver Deliver
+	slots   map[Slot]*cbSlot
+}
+
+type cbSlot struct {
+	sentEcho  bool
+	delivered bool
+	echoes    map[string]types.Set
+}
+
+var _ Broadcaster = (*Consistent)(nil)
+
+// NewConsistent creates the consistent broadcast component for one process.
+func NewConsistent(self types.ProcessID, trust quorum.Assumption, deliver Deliver) *Consistent {
+	return &Consistent{self: self, trust: trust, deliver: deliver, slots: map[Slot]*cbSlot{}}
+}
+
+// Broadcast implements Broadcaster.
+func (c *Consistent) Broadcast(env sim.Env, seq uint64, payload Payload) {
+	env.Broadcast(sendMsg{Slot: Slot{Src: c.self, Seq: seq}, Payload: payload})
+}
+
+// Handle implements Broadcaster.
+func (c *Consistent) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case sendMsg:
+		if m.Slot.Src != from {
+			return true
+		}
+		st := c.slot(m.Slot)
+		if st.sentEcho {
+			return true
+		}
+		st.sentEcho = true
+		env.Broadcast(echoMsg{Slot: m.Slot, Payload: m.Payload})
+	case echoMsg:
+		st := c.slot(m.Slot)
+		key := m.Payload.Key()
+		s, ok := st.echoes[key]
+		if !ok {
+			s = types.NewSet(env.N())
+		}
+		s.Add(from)
+		st.echoes[key] = s
+		if !st.delivered && c.trust.HasQuorumWithin(c.self, s) {
+			st.delivered = true
+			c.deliver(env, m.Slot, m.Payload)
+		}
+	case readyMsg:
+		return false // not ours
+	default:
+		return false
+	}
+	return true
+}
+
+func (c *Consistent) slot(s Slot) *cbSlot {
+	st, ok := c.slots[s]
+	if !ok {
+		st = &cbSlot{echoes: map[string]types.Set{}}
+		c.slots[s] = st
+	}
+	return st
+}
+
+// Plain is best-effort broadcast: one direct message per recipient,
+// delivered on receipt. With a correct sender over reliable links it
+// provides the same guarantees as reliable broadcast at one round instead
+// of three; the Appendix A executions (all processes correct, adversarial
+// scheduling) use it so that the adversary's delivery order acts directly
+// on the protocol rounds.
+type Plain struct {
+	self      types.ProcessID
+	deliver   Deliver
+	delivered map[Slot]bool
+}
+
+var _ Broadcaster = (*Plain)(nil)
+
+// NewPlain creates the best-effort broadcast component for one process.
+func NewPlain(self types.ProcessID, deliver Deliver) *Plain {
+	return &Plain{self: self, deliver: deliver, delivered: map[Slot]bool{}}
+}
+
+// Broadcast implements Broadcaster.
+func (p *Plain) Broadcast(env sim.Env, seq uint64, payload Payload) {
+	env.Broadcast(sendMsg{Slot: Slot{Src: p.self, Seq: seq}, Payload: payload})
+}
+
+// Handle implements Broadcaster.
+func (p *Plain) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool {
+	m, ok := msg.(sendMsg)
+	if !ok {
+		return false
+	}
+	if m.Slot.Src != from {
+		return true
+	}
+	if p.delivered[m.Slot] {
+		return true
+	}
+	p.delivered[m.Slot] = true
+	p.deliver(env, m.Slot, m.Payload)
+	return true
+}
+
+// EquivocateSend lets tests and adversarial nodes inject a conflicting SEND
+// for a slot directly to one recipient, bypassing the Broadcaster API. Only
+// Byzantine behaviours use it.
+func EquivocateSend(env sim.Env, to types.ProcessID, slot Slot, payload Payload) {
+	env.Send(to, sendMsg{Slot: slot, Payload: payload})
+}
+
+// RegisterWire registers this package's message types with encoding/gob so
+// they can travel over a real transport (internal/transport). Safe to call
+// multiple times.
+func RegisterWire() {
+	gob.Register(sendMsg{})
+	gob.Register(echoMsg{})
+	gob.Register(readyMsg{})
+	gob.Register(Bytes(nil))
+}

@@ -1,0 +1,358 @@
+package broadcast
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// bcNode is a test node that broadcasts an optional input on init and
+// records deliveries.
+type bcNode struct {
+	mk        func(self types.ProcessID, deliver Deliver) Broadcaster
+	input     Payload
+	bc        Broadcaster
+	delivered map[Slot]Payload
+}
+
+func (n *bcNode) Init(env sim.Env) {
+	n.delivered = map[Slot]Payload{}
+	n.bc = n.mk(env.Self(), func(_ sim.Env, slot Slot, p Payload) {
+		if _, dup := n.delivered[slot]; dup {
+			panic(fmt.Sprintf("double delivery in slot %v", slot))
+		}
+		n.delivered[slot] = p
+	})
+	if n.input != nil {
+		n.bc.Broadcast(env, 0, n.input)
+	}
+}
+
+func (n *bcNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	n.bc.Handle(env, from, msg)
+}
+
+// equivocator sends payload A to the first half and payload B to the rest.
+type equivocator struct{}
+
+func (equivocator) Init(env sim.Env) {
+	slot := Slot{Src: env.Self(), Seq: 0}
+	for i := 0; i < env.N(); i++ {
+		p := Payload(Bytes("AAAA"))
+		if i >= env.N()/2 {
+			p = Bytes("BBBB")
+		}
+		EquivocateSend(env, types.ProcessID(i), slot, p)
+	}
+}
+
+func (equivocator) Receive(sim.Env, types.ProcessID, sim.Message) {}
+
+// partialSender sends its SEND to only the given recipients, then goes mute
+// (models a Byzantine sender that tries to split delivery).
+type partialSender struct {
+	to types.Set
+}
+
+func (p *partialSender) Init(env sim.Env) {
+	slot := Slot{Src: env.Self(), Seq: 0}
+	for _, r := range p.to.Members() {
+		EquivocateSend(env, r, slot, Bytes("partial"))
+	}
+}
+
+func (p *partialSender) Receive(sim.Env, types.ProcessID, sim.Message) {}
+
+func reliableCluster(n int, trust quorum.Assumption, inputs []Payload) []sim.Node {
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		var in Payload
+		if inputs != nil {
+			in = inputs[i]
+		}
+		nodes[i] = &bcNode{
+			mk: func(self types.ProcessID, d Deliver) Broadcaster {
+				return NewReliable(self, trust, d)
+			},
+			input: in,
+		}
+	}
+	return nodes
+}
+
+func TestReliableThresholdAllCorrect(t *testing.T) {
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	inputs := make([]Payload, n)
+	for i := range inputs {
+		inputs[i] = Bytes(fmt.Sprintf("value-%d", i))
+	}
+	nodes := reliableCluster(n, trust, inputs)
+	r := sim.NewRunner(sim.Config{N: n, Seed: 1, Latency: sim.UniformLatency{Min: 1, Max: 10}}, nodes)
+	r.Run(0)
+	for i, nd := range nodes {
+		b := nd.(*bcNode)
+		if len(b.delivered) != n {
+			t.Fatalf("node %d delivered %d slots, want %d", i, len(b.delivered), n)
+		}
+		for src := 0; src < n; src++ {
+			got, ok := b.delivered[Slot{Src: types.ProcessID(src), Seq: 0}]
+			if !ok {
+				t.Fatalf("node %d missing slot from %d", i, src)
+			}
+			if got.Key() != inputs[src].Key() {
+				t.Fatalf("node %d delivered wrong payload from %d", i, src)
+			}
+		}
+	}
+}
+
+func TestReliableAsymmetricAllCorrect(t *testing.T) {
+	sys := quorum.Counterexample()
+	n := sys.N()
+	inputs := make([]Payload, n)
+	for i := range inputs {
+		inputs[i] = Bytes(fmt.Sprintf("v%d", i))
+	}
+	nodes := reliableCluster(n, sys, inputs)
+	r := sim.NewRunner(sim.Config{N: n, Seed: 7, Latency: sim.UniformLatency{Min: 1, Max: 20}}, nodes)
+	r.Run(0)
+	for i, nd := range nodes {
+		b := nd.(*bcNode)
+		if len(b.delivered) != n {
+			t.Fatalf("node %d delivered %d slots, want %d", i, len(b.delivered), n)
+		}
+	}
+}
+
+func TestReliableEquivocationConsistency(t *testing.T) {
+	// Byzantine node 3 equivocates; n=4, f=1 threshold. No two correct
+	// processes may deliver different payloads for node 3's slot.
+	for seed := int64(0); seed < 20; seed++ {
+		n := 4
+		trust := quorum.NewThreshold(n, 1)
+		nodes := reliableCluster(n, trust, nil)
+		nodes[3] = equivocator{}
+		r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: sim.UniformLatency{Min: 1, Max: 30}}, nodes)
+		r.Run(0)
+		slot := Slot{Src: 3, Seq: 0}
+		var seen string
+		for i := 0; i < 3; i++ {
+			b := nodes[i].(*bcNode)
+			if p, ok := b.delivered[slot]; ok {
+				if seen == "" {
+					seen = p.Key()
+				} else if seen != p.Key() {
+					t.Fatalf("seed %d: conflicting deliveries for equivocated slot", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestReliableTotalityPartialSend(t *testing.T) {
+	// Byzantine sender sends only to {0,1,2} of a 4-process system, then
+	// goes mute. Echo amplification must carry delivery to everyone
+	// correct (totality): if anyone delivers, all correct deliver.
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	nodes := reliableCluster(n, trust, nil)
+	nodes[3] = &partialSender{to: types.NewSetOf(n, 0, 1, 2)}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 5, Latency: sim.UniformLatency{Min: 1, Max: 10}}, nodes)
+	r.Run(0)
+	slot := Slot{Src: 3, Seq: 0}
+	deliveredCount := 0
+	for i := 0; i < 3; i++ {
+		if _, ok := nodes[i].(*bcNode).delivered[slot]; ok {
+			deliveredCount++
+		}
+	}
+	if deliveredCount != 0 && deliveredCount != 3 {
+		t.Fatalf("totality violated: %d of 3 correct processes delivered", deliveredCount)
+	}
+	if deliveredCount == 0 {
+		t.Fatal("expected delivery: SEND reached a full quorum")
+	}
+}
+
+func TestReliableWithCrashesInFailProneSet(t *testing.T) {
+	// Asymmetric random system; crash a set inside a fail-prone set of
+	// every process (so everyone is wise). All correct deliver all correct
+	// senders' payloads.
+	sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{N: 8, NumSets: 3, MaxFault: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.N()
+	// Find a process that everyone tolerates losing.
+	var victim types.ProcessID = -1
+	for c := 0; c < n; c++ {
+		f := types.NewSetOf(n, types.ProcessID(c))
+		if sys.Wise(f).Count() == n-1 && sys.MaximalGuild(f).Count() == n-1 {
+			victim = types.ProcessID(c)
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no universally tolerated victim in this system")
+	}
+	inputs := make([]Payload, n)
+	for i := range inputs {
+		inputs[i] = Bytes(fmt.Sprintf("v%d", i))
+	}
+	nodes := reliableCluster(n, sys, inputs)
+	nodes[victim] = &sim.CrashNode{Inner: nodes[victim], CrashAt: 0}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 3, Latency: sim.UniformLatency{Min: 1, Max: 15}}, nodes)
+	r.Run(0)
+	for i, nd := range nodes {
+		if types.ProcessID(i) == victim {
+			continue
+		}
+		b := nd.(*bcNode)
+		for src := 0; src < n; src++ {
+			if types.ProcessID(src) == victim {
+				continue
+			}
+			if _, ok := b.delivered[Slot{Src: types.ProcessID(src), Seq: 0}]; !ok {
+				t.Fatalf("node %d missing delivery from correct %d", i, src)
+			}
+		}
+	}
+}
+
+func TestForgedSendDropped(t *testing.T) {
+	// A message claiming Src != network sender must be ignored.
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	nodes := reliableCluster(n, trust, nil)
+	// Node 3 forges a SEND claiming to be from node 0.
+	forger := &forgeNode{}
+	nodes[3] = forger
+	r := sim.NewRunner(sim.Config{N: n, Seed: 1}, nodes)
+	r.Run(0)
+	for i := 0; i < 3; i++ {
+		b := nodes[i].(*bcNode)
+		if len(b.delivered) != 0 {
+			t.Fatalf("node %d delivered a forged broadcast", i)
+		}
+	}
+}
+
+type forgeNode struct{}
+
+func (forgeNode) Init(env sim.Env) {
+	for i := 0; i < env.N(); i++ {
+		EquivocateSend(env, types.ProcessID(i), Slot{Src: 0, Seq: 0}, Bytes("forged"))
+	}
+}
+func (forgeNode) Receive(sim.Env, types.ProcessID, sim.Message) {}
+
+func TestConsistentBroadcast(t *testing.T) {
+	n := 7
+	trust := quorum.NewThreshold(n, 2)
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &bcNode{
+			mk: func(self types.ProcessID, d Deliver) Broadcaster {
+				return NewConsistent(self, trust, d)
+			},
+			input: Bytes(fmt.Sprintf("c%d", i)),
+		}
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 2, Latency: sim.UniformLatency{Min: 1, Max: 10}}, nodes)
+	r.Run(0)
+	for i, nd := range nodes {
+		b := nd.(*bcNode)
+		if len(b.delivered) != n {
+			t.Fatalf("node %d delivered %d, want %d", i, len(b.delivered), n)
+		}
+	}
+}
+
+func TestPlainBroadcast(t *testing.T) {
+	n := 5
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &bcNode{
+			mk: func(self types.ProcessID, d Deliver) Broadcaster {
+				return NewPlain(self, d)
+			},
+			input: Bytes(fmt.Sprintf("p%d", i)),
+		}
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 2}, nodes)
+	r.Run(0)
+	for i, nd := range nodes {
+		b := nd.(*bcNode)
+		if len(b.delivered) != n {
+			t.Fatalf("node %d delivered %d, want %d", i, len(b.delivered), n)
+		}
+	}
+	// Plain uses exactly n sends per broadcast: n*n total.
+	if got := r.Metrics().MessagesSent; got != n*n {
+		t.Fatalf("plain broadcast sent %d messages, want %d", got, n*n)
+	}
+}
+
+func TestReliableMessageComplexity(t *testing.T) {
+	// One reliable broadcast among n all-correct processes costs
+	// n (SEND) + n*n (ECHO) + n*n (READY) messages.
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	nodes := reliableCluster(n, trust, nil)
+	nodes[0].(*bcNode).input = Bytes("solo")
+	r := sim.NewRunner(sim.Config{N: n, Seed: 1}, nodes)
+	r.Run(0)
+	want := n + n*n + n*n
+	if got := r.Metrics().MessagesSent; got != want {
+		t.Fatalf("reliable broadcast sent %d, want %d", got, want)
+	}
+}
+
+func TestBytesPayload(t *testing.T) {
+	a, b := Bytes("x"), Bytes("x")
+	if a.Key() != b.Key() {
+		t.Error("equal bytes must have equal keys")
+	}
+	if Bytes("x").Key() == Bytes("y").Key() {
+		t.Error("distinct bytes must differ in key")
+	}
+	if Bytes("abc").SimSize() != 3 {
+		t.Error("SimSize should be byte length")
+	}
+}
+
+func TestConsistentBroadcastEquivocation(t *testing.T) {
+	// Consistent broadcast guarantees consistency (no two correct deliver
+	// different payloads) but not totality. An equivocating sender on
+	// n=4,f=1 must never cause conflicting deliveries.
+	for seed := int64(0); seed < 15; seed++ {
+		n := 4
+		trust := quorum.NewThreshold(n, 1)
+		nodes := make([]sim.Node, n)
+		for i := 0; i < 3; i++ {
+			nodes[i] = &bcNode{
+				mk: func(self types.ProcessID, d Deliver) Broadcaster {
+					return NewConsistent(self, trust, d)
+				},
+			}
+		}
+		nodes[3] = equivocator{}
+		r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: sim.UniformLatency{Min: 1, Max: 30}}, nodes)
+		r.Run(0)
+		slot := Slot{Src: 3, Seq: 0}
+		var seen string
+		for i := 0; i < 3; i++ {
+			if p, ok := nodes[i].(*bcNode).delivered[slot]; ok {
+				if seen == "" {
+					seen = p.Key()
+				} else if seen != p.Key() {
+					t.Fatalf("seed %d: consistent broadcast delivered conflicting payloads", seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package coin
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// ShareMsg is one process's coin share for a wave. In the real protocol
+// this carries a threshold-signature share; here the share's only role is
+// its *existence* — the value is reconstructed from the run's PRF once
+// enough shares arrived (see the package comment on the substitution).
+type ShareMsg struct {
+	Wave int
+}
+
+// SimSize implements sim.Sizer (a BLS share is ~48 bytes on the wire).
+func (ShareMsg) SimSize() int { return 48 }
+
+// Shared is the revealed common coin: the leader of wave w becomes known
+// only after coin shares for w have been received from one of the local
+// process's quorums. This reproduces the unpredictability discipline of
+// DAG-Rider, which reveals the coin only after enough processes finish the
+// wave — before that, an adaptive adversary cannot bias the DAG towards or
+// away from the future leader.
+//
+// Shared wraps any Source for the actual values; matching follows from all
+// processes wrapping the same Source.
+type Shared struct {
+	self     types.ProcessID
+	trust    quorum.Assumption
+	src      Source
+	shares   map[int]types.Set
+	released map[int]bool
+	ready    map[int]bool
+}
+
+// NewShared creates the share-gated coin for one process.
+func NewShared(self types.ProcessID, trust quorum.Assumption, src Source) *Shared {
+	return &Shared{
+		self:     self,
+		trust:    trust,
+		src:      src,
+		shares:   map[int]types.Set{},
+		released: map[int]bool{},
+		ready:    map[int]bool{},
+	}
+}
+
+// Release broadcasts this process's share for a wave (idempotent). Call it
+// when the local wave execution finishes.
+func (s *Shared) Release(env sim.Env, wave int) {
+	if s.released[wave] {
+		return
+	}
+	s.released[wave] = true
+	env.Broadcast(ShareMsg{Wave: wave})
+}
+
+// Handle consumes a ShareMsg. It reports whether the message belonged to
+// the coin and whether the wave's value just became available.
+func (s *Shared) Handle(env sim.Env, from types.ProcessID, msg sim.Message) (becameReady bool, handled bool) {
+	m, ok := msg.(ShareMsg)
+	if !ok {
+		return false, false
+	}
+	set, ok := s.shares[m.Wave]
+	if !ok {
+		set = types.NewSet(env.N())
+	}
+	set.Add(from)
+	s.shares[m.Wave] = set
+	if !s.ready[m.Wave] && s.trust.HasQuorumWithin(s.self, set) {
+		s.ready[m.Wave] = true
+		return true, true
+	}
+	return false, true
+}
+
+// Ready reports whether the wave's coin value can be reconstructed.
+func (s *Shared) Ready(wave int) bool { return s.ready[wave] }
+
+// Leader returns the wave's leader if the coin has been revealed.
+func (s *Shared) Leader(wave int) (types.ProcessID, bool) {
+	if !s.ready[wave] {
+		return 0, false
+	}
+	return s.src.Leader(wave), true
+}

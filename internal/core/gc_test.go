@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/rider"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func runGC(t *testing.T, gcDepth, waves int, seed int64) []*core.Node {
+	t.Helper()
+	trust := quorum.NewThreshold(4, 1)
+	c := coin.NewPRF(seed, 4)
+	nodes := make([]sim.Node, 4)
+	raw := make([]*core.Node, 4)
+	for i := range nodes {
+		nd := core.NewNode(core.Config{
+			Trust:    trust,
+			Coin:     c,
+			Workload: rider.SyntheticWorkload{Self: types.ProcessID(i), TxPerBlock: 1},
+			MaxRound: 4 * waves,
+			GCDepth:  gcDepth,
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	r := sim.NewRunner(sim.Config{N: 4, Seed: seed, Latency: sim.UniformLatency{Min: 1, Max: 20}}, nodes)
+	r.Run(0)
+	return raw
+}
+
+// TestGCBoundsMemory: with GC enabled the retained vertex count stays well
+// below the full run's vertex count.
+func TestGCBoundsMemory(t *testing.T) {
+	const waves = 16
+	full := runGC(t, 0, waves, 7)
+	gc := runGC(t, 3, waves, 7)
+	for i := range gc {
+		fullCount := full[i].DAG().VertexCount()
+		gcCount := gc[i].DAG().VertexCount()
+		if gc[i].DAG().PrunedBelow() == 0 {
+			t.Errorf("node %d never pruned", i)
+		}
+		if gcCount >= fullCount {
+			t.Errorf("node %d: GC retained %d vertices, full run has %d", i, gcCount, fullCount)
+		}
+		// Retention proportional to the GC window, not the run length:
+		// at most (GCDepth + rounds-past-last-decided + slack) rounds of
+		// 4 vertices each.
+		if gcCount > 4*(4*waves-gc[i].DAG().PrunedBelow()+4) {
+			t.Errorf("node %d: GC retained %d vertices beyond the window", i, gcCount)
+		}
+	}
+}
+
+// TestGCSameDeliveries: GC must not change what gets delivered or its
+// order (pruning happens strictly after delivery).
+func TestGCSameDeliveries(t *testing.T) {
+	const waves = 10
+	full := runGC(t, 0, waves, 9)
+	gc := runGC(t, 2, waves, 9)
+	for i := range gc {
+		a, b := full[i].Deliveries(), gc[i].Deliveries()
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %d vs %d deliveries", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k].Ref != b[k].Ref {
+				t.Fatalf("node %d: delivery %d differs: %v vs %v", i, k, a[k].Ref, b[k].Ref)
+			}
+		}
+	}
+}
+
+// TestGCKeepsProperties: total order among nodes of the GC run.
+func TestGCKeepsProperties(t *testing.T) {
+	gc := runGC(t, 2, 12, 11)
+	var longest []rider.Delivery
+	for _, nd := range gc {
+		if len(nd.Deliveries()) > len(longest) {
+			longest = nd.Deliveries()
+		}
+	}
+	for i, nd := range gc {
+		for k, d := range nd.Deliveries() {
+			if longest[k].Ref != d.Ref {
+				t.Fatalf("node %d: total order violated at %d with GC", i, k)
+			}
+		}
+		if nd.DecidedWave() == 0 {
+			t.Errorf("node %d decided nothing with GC", i)
+		}
+	}
+}

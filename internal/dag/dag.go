@@ -1,0 +1,293 @@
+// Package dag implements the round-structured directed acyclic graph that
+// underlies DAG-Rider-style consensus (paper §4.1).
+//
+// Vertices are identified by (source, round): reliable broadcast guarantees
+// that correct processes deliver at most one vertex per source per round,
+// so no digests are needed for identity. Strong edges point to vertices of
+// the previous round; weak edges point to older vertices not already
+// reachable, which is how the protocol guarantees eventual delivery of
+// every broadcast block (validity).
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// VertexRef identifies a vertex.
+type VertexRef struct {
+	Source types.ProcessID
+	Round  int
+}
+
+// String implements fmt.Stringer.
+func (r VertexRef) String() string { return fmt.Sprintf("%v@r%d", r.Source, r.Round) }
+
+// Vertex is one node of the DAG: a block of transactions plus references.
+type Vertex struct {
+	Source      types.ProcessID
+	Round       int
+	Block       []string // transactions carried by this vertex
+	StrongEdges []VertexRef
+	WeakEdges   []VertexRef
+}
+
+// Ref returns the vertex's identity.
+func (v *Vertex) Ref() VertexRef { return VertexRef{Source: v.Source, Round: v.Round} }
+
+// Parents returns all references (strong then weak).
+func (v *Vertex) Parents() []VertexRef {
+	out := make([]VertexRef, 0, len(v.StrongEdges)+len(v.WeakEdges))
+	out = append(out, v.StrongEdges...)
+	out = append(out, v.WeakEdges...)
+	return out
+}
+
+// DAG is one process's local copy of the graph. The zero value is not
+// usable; call New.
+type DAG struct {
+	n           int
+	rounds      []map[types.ProcessID]*Vertex
+	prunedBelow int
+}
+
+// New creates an empty DAG for n processes.
+func New(n int) *DAG {
+	return &DAG{n: n}
+}
+
+// ensureRound grows the per-round storage.
+func (d *DAG) ensureRound(r int) map[types.ProcessID]*Vertex {
+	for len(d.rounds) <= r {
+		d.rounds = append(d.rounds, map[types.ProcessID]*Vertex{})
+	}
+	return d.rounds[r]
+}
+
+// Add inserts v. It returns an error if a different vertex from the same
+// source already occupies the round (reliable broadcast should prevent
+// this) or if any referenced parent is absent (callers must buffer until
+// the causal history is complete, Algorithm 4 line 96).
+func (d *DAG) Add(v *Vertex) error {
+	if v.Round < 0 {
+		return fmt.Errorf("dag: negative round %d", v.Round)
+	}
+	if v.Round < d.prunedBelow {
+		return fmt.Errorf("dag: round %d already pruned (watermark %d)", v.Round, d.prunedBelow)
+	}
+	for _, ref := range v.Parents() {
+		if _, ok := d.Get(ref); !ok {
+			return fmt.Errorf("dag: missing parent %v of %v", ref, v.Ref())
+		}
+	}
+	slot := d.ensureRound(v.Round)
+	if old, ok := slot[v.Source]; ok && old != v {
+		return fmt.Errorf("dag: duplicate vertex for %v", v.Ref())
+	}
+	slot[v.Source] = v
+	return nil
+}
+
+// Get returns the vertex with the given identity.
+func (d *DAG) Get(ref VertexRef) (*Vertex, bool) {
+	if ref.Round < 0 || ref.Round >= len(d.rounds) {
+		return nil, false
+	}
+	v, ok := d.rounds[ref.Round][ref.Source]
+	return v, ok
+}
+
+// Contains reports whether ref is present.
+func (d *DAG) Contains(ref VertexRef) bool {
+	_, ok := d.Get(ref)
+	return ok
+}
+
+// HasAllParents reports whether every vertex referenced by v is present —
+// the insertion precondition of Algorithm 4 line 96.
+func (d *DAG) HasAllParents(v *Vertex) bool {
+	for _, ref := range v.Parents() {
+		if !d.Contains(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundSources returns the set of processes with a vertex in round r.
+func (d *DAG) RoundSources(r int) types.Set {
+	s := types.NewSet(d.n)
+	if r < 0 || r >= len(d.rounds) {
+		return s
+	}
+	for src := range d.rounds[r] {
+		s.Add(src)
+	}
+	return s
+}
+
+// RoundVertices returns the vertices of round r sorted by source (a
+// deterministic order shared by all processes).
+func (d *DAG) RoundVertices(r int) []*Vertex {
+	if r < 0 || r >= len(d.rounds) {
+		return nil
+	}
+	out := make([]*Vertex, 0, len(d.rounds[r]))
+	for _, v := range d.rounds[r] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// Height returns one past the highest round with storage allocated.
+func (d *DAG) Height() int { return len(d.rounds) }
+
+// VertexCount returns the total number of vertices.
+func (d *DAG) VertexCount() int {
+	total := 0
+	for _, r := range d.rounds {
+		total += len(r)
+	}
+	return total
+}
+
+// StrongPath reports whether there is a path from `from` to `to` using
+// only strong edges. Paths go backwards in rounds; from.Round must be
+// greater than to.Round (equal refs return true).
+func (d *DAG) StrongPath(from, to VertexRef) bool {
+	return d.path(from, to, false)
+}
+
+// Path reports whether there is a path from `from` to `to` using strong
+// and weak edges.
+func (d *DAG) Path(from, to VertexRef) bool {
+	return d.path(from, to, true)
+}
+
+func (d *DAG) path(from, to VertexRef, useWeak bool) bool {
+	if from == to {
+		return true
+	}
+	if from.Round <= to.Round {
+		return false
+	}
+	visited := map[VertexRef]bool{}
+	stack := []VertexRef{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		v, ok := d.Get(cur)
+		if !ok {
+			continue
+		}
+		edges := v.StrongEdges
+		if useWeak {
+			edges = v.Parents()
+		}
+		for _, ref := range edges {
+			if ref == to {
+				return true
+			}
+			if ref.Round > to.Round && !visited[ref] {
+				stack = append(stack, ref)
+			}
+		}
+	}
+	return false
+}
+
+// StrongReachCount returns how many round-r vertices have a strong path to
+// target (used by commit rules).
+func (d *DAG) StrongReachCount(r int, target VertexRef) int {
+	count := 0
+	for _, v := range d.RoundVertices(r) {
+		if d.StrongPath(v.Ref(), target) {
+			count++
+		}
+	}
+	return count
+}
+
+// StrongReachSources returns the set of sources of round-r vertices with a
+// strong path to target.
+func (d *DAG) StrongReachSources(r int, target VertexRef) types.Set {
+	s := types.NewSet(d.n)
+	for _, v := range d.RoundVertices(r) {
+		if d.StrongPath(v.Ref(), target) {
+			s.Add(v.Source)
+		}
+	}
+	return s
+}
+
+// CausalHistory returns every vertex reachable from v (inclusive) via
+// strong and weak edges, in the deterministic (round, source) order the
+// delivery procedure uses (Algorithm 6, orderVertices).
+func (d *DAG) CausalHistory(v VertexRef) []*Vertex {
+	visited := map[VertexRef]bool{}
+	var out []*Vertex
+	stack := []VertexRef{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		vv, ok := d.Get(cur)
+		if !ok {
+			continue
+		}
+		out = append(out, vv)
+		stack = append(stack, vv.Parents()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Pruning support: DAG-Rider keeps the full graph (the paper flags its
+// unbounded memory in §4.5); Bullshark-style garbage collection becomes
+// safe once a round's vertices have all been delivered, because everything
+// below a delivered vertex is delivered too (deliveries happen as whole
+// causal histories). Pruned rounds read as absent: path traversals stop at
+// them, which is sound for the remaining queries (commit rules and leader
+// stacks only inspect rounds above the last decided wave).
+
+// PruneBelow removes the contiguous prefix of rounds strictly below limit
+// in which every vertex satisfies canPrune (typically "was delivered").
+// It stops at the first round that does not qualify and returns the new
+// watermark: the lowest retained round.
+func (d *DAG) PruneBelow(limit int, canPrune func(*Vertex) bool) int {
+	for d.prunedBelow < limit && d.prunedBelow < len(d.rounds) {
+		r := d.prunedBelow
+		ok := true
+		for _, v := range d.rounds[r] {
+			if !canPrune(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		d.rounds[r] = nil
+		d.prunedBelow++
+	}
+	return d.prunedBelow
+}
+
+// PrunedBelow returns the lowest retained round (0 when nothing was
+// pruned).
+func (d *DAG) PrunedBelow() int { return d.prunedBelow }

@@ -1,0 +1,188 @@
+package gather
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// TestListing1SSets checks Figure 2: after one merge round each process
+// knows exactly the values of its canonical quorum.
+func TestListing1SSets(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	s := RoundSets(sys.N(), choice, 1)
+	for i := 0; i < sys.N(); i++ {
+		p := types.ProcessID(i)
+		if !s[i].Equal(sys.Quorums(p)[0]) {
+			t.Errorf("S set of %v = %v, want its quorum %v", p, s[i], sys.Quorums(p)[0])
+		}
+	}
+}
+
+// TestListing1TSets spot-checks Figure 3 against hand-computed unions.
+func TestListing1TSets(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	ts := RoundSets(sys.N(), choice, 2)
+	// T_1 = union of S sets of {1,2,3,4,5,16} =
+	// Q1 ∪ Q2 ∪ Q3 ∪ Q4 ∪ Q5 ∪ Q16 (1-based members):
+	// {1,2,3,4,5,16} ∪ {1,6,7,8,9,17} ∪ {1,2,3,4,5,18} ∪ {1,6,7,8,9,19}
+	// ∪ {2,6,10,11,12,20} ∪ {1,2,3,4,5,16}
+	want := types.NewSet(30)
+	for _, m := range []int{1, 2, 3, 4, 5, 16, 6, 7, 8, 9, 17, 18, 19, 10, 11, 12, 20} {
+		want.Add(types.ProcessID(m - 1))
+	}
+	if !ts[0].Equal(want) {
+		t.Errorf("T set of p1 = %v, want %v", ts[0], want)
+	}
+}
+
+// TestLemma32NoCommonCore is the paper's Listing 1 verification: after the
+// three rounds of Algorithm 2 on the Figure 1 system, NO process's S set is
+// contained in every process's U set — the common core property fails.
+func TestLemma32NoCommonCore(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	u := RoundSets(sys.N(), choice, 3)
+	candidates := CommonCoreCandidates(sys.N(), choice, u)
+	if !candidates.IsEmpty() {
+		t.Fatalf("Lemma 3.2 violated in reproduction: candidates = %v", candidates)
+	}
+}
+
+// TestFigure4Observation checks the paper's explanation of Figure 4: every
+// S set contains at least one process in [16,30], and every U set is
+// missing at least one process in that range.
+func TestFigure4Observation(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	n := sys.N()
+	high := types.NewSet(n)
+	for i := 15; i < 30; i++ {
+		high.Add(types.ProcessID(i))
+	}
+	s := RoundSets(n, choice, 1)
+	for i := range s {
+		if !s[i].Intersects(high) {
+			t.Errorf("S set of p%d misses [16,30] entirely: %v", i+1, s[i])
+		}
+	}
+	u := RoundSets(n, choice, 3)
+	for i := range u {
+		if high.IsSubsetOf(u[i]) {
+			t.Errorf("U set of p%d contains all of [16,30]: %v", i+1, u[i])
+		}
+	}
+}
+
+// TestRoundsToCommonCoreLogarithmic: the paper observes that with r rounds
+// of this communication, any system with fewer than 2^r processes reaches
+// a common core; the 30-process counterexample therefore must succeed
+// within log2(30) < 5 extra rounds but not within 3.
+func TestRoundsToCommonCoreLogarithmic(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	r, ok := RoundsToCommonCore(sys.N(), choice, 10)
+	if !ok {
+		t.Fatal("no common core within 10 rounds")
+	}
+	if r <= 3 {
+		t.Fatalf("common core after %d rounds contradicts Lemma 3.2", r)
+	}
+	if r > 5 {
+		t.Fatalf("common core took %d rounds, expected ≤ log2(30) ≈ 5", r)
+	}
+	t.Logf("counterexample reaches a common core after %d merge rounds", r)
+}
+
+// TestSmallSystemsAlwaysHaveCommonCore reproduces the §3.2 claim: "any
+// system having less than 16 processes will always satisfy the common core
+// property" after the 3 rounds of Algorithm 2. We search random valid
+// asymmetric systems and random quorum choices for a violation.
+func TestSmallSystemsAlwaysHaveCommonCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(12) // 4..15
+		sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+			N:        n,
+			NumSets:  1 + rng.Intn(3),
+			MaxFault: 1 + rng.Intn(max(1, n/4)),
+			Seed:     rng.Int63(),
+		})
+		if err != nil {
+			continue
+		}
+		// Random quorum choice per process.
+		choice := func(p types.ProcessID) types.Set {
+			qs := sys.Quorums(p)
+			return qs[int(p)%len(qs)]
+		}
+		u := RoundSets(n, choice, 3)
+		if CommonCoreCandidates(n, choice, u).IsEmpty() {
+			t.Fatalf("found a <16-process violation (n=%d), contradicting §3.2", n)
+		}
+	}
+}
+
+// TestQuorumConsistencyForcesPairwiseSharing: after 3 rounds any two
+// processes share at least one S set (the reason small systems always have
+// a common core). Verified on the counterexample itself.
+func TestQuorumConsistencyForcesPairwiseSharing(t *testing.T) {
+	sys := quorum.Counterexample()
+	choice := CanonicalChoice(sys)
+	n := sys.N()
+	s := RoundSets(n, choice, 1)
+	u := RoundSets(n, choice, 3)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			shared := false
+			for k := 0; k < n; k++ {
+				if s[k].IsSubsetOf(u[i]) && s[k].IsSubsetOf(u[j]) {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				t.Fatalf("p%d and p%d share no S set after 3 rounds", i+1, j+1)
+			}
+		}
+	}
+}
+
+func TestRoundSetsZeroRounds(t *testing.T) {
+	sys := quorum.Counterexample()
+	s := RoundSets(sys.N(), CanonicalChoice(sys), 0)
+	for i := range s {
+		if !s[i].Equal(types.NewSetOf(sys.N(), types.ProcessID(i))) {
+			t.Errorf("round 0 set of p%d = %v", i+1, s[i])
+		}
+	}
+}
+
+// TestThresholdAbstractCommonCore: on a threshold system the 3-round
+// abstract execution always reaches a common core, whatever quorums are
+// chosen (sanity for the symmetric baseline).
+func TestThresholdAbstractCommonCore(t *testing.T) {
+	sys, err := quorum.NewThresholdExplicit(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// Fix the per-process choice up front: QuorumChoice must be a
+		// stable function of the process.
+		chosen := make([]types.Set, 7)
+		for i := range chosen {
+			qs := sys.Quorums(types.ProcessID(i))
+			chosen[i] = qs[rng.Intn(len(qs))]
+		}
+		choice := func(p types.ProcessID) types.Set { return chosen[p] }
+		u := RoundSets(7, choice, 3)
+		if CommonCoreCandidates(7, choice, u).IsEmpty() {
+			t.Fatal("threshold system lost the common core in abstract execution")
+		}
+	}
+}

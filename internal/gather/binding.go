@@ -1,0 +1,117 @@
+package gather
+
+import (
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// distUMsg carries the fourth-round U set of the binding gather.
+type distUMsg struct {
+	From types.ProcessID
+	U    Pairs
+}
+
+func (m distUMsg) SimSize() int { return 8 + m.U.SimSize() }
+
+// BindingNode is the binding variant of the asymmetric gather: Algorithm 3
+// plus one extra exchange round, following Abraham et al.'s observation
+// (paper §2.4) that a binding common core costs one additional round.
+// Shoup's attack on Tusk exploits a non-binding core: an adversary that
+// sees the coin before the core is fixed can steer it away from the
+// leader. With the extra round, by the time the first correct process
+// ag-delivers, the (now one-round-older) common core can no longer change:
+// every later deliverer's output already contains it.
+//
+// Structure: run Algorithm 3 unchanged through DISTRIBUTE_T; where
+// Algorithm 3 would deliver U, broadcast [DISTRIBUTE_U, U] instead and
+// deliver the union of U sets accepted from one of the local quorums.
+type BindingNode struct {
+	inner *ConstantRoundNode
+
+	v        Pairs // union of accepted U sets
+	uFrom    types.Set
+	pendingU map[types.ProcessID]Pairs
+
+	sentU     bool
+	delivered bool
+	output    Pairs
+}
+
+var _ sim.Node = (*BindingNode)(nil)
+
+// NewBindingNode creates a binding gather node.
+func NewBindingNode(cfg Config) *BindingNode {
+	return &BindingNode{
+		inner:    NewConstantRoundNode(cfg),
+		v:        NewPairs(),
+		pendingU: map[types.ProcessID]Pairs{},
+	}
+}
+
+// Init implements sim.Node.
+func (n *BindingNode) Init(env sim.Env) {
+	n.uFrom = types.NewSet(env.N())
+	n.inner.Init(env)
+	n.afterInner(env)
+}
+
+// Receive implements sim.Node.
+func (n *BindingNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if m, ok := msg.(distUMsg); ok {
+		if m.From != from {
+			return
+		}
+		if n.inner.s.ContainsAll(m.U) {
+			n.acceptU(from, m.U)
+		} else {
+			n.pendingU[from] = m.U
+		}
+		return
+	}
+	n.inner.Receive(env, from, msg)
+	n.afterInner(env)
+	// Arb deliveries may have unblocked pending U sets.
+	for p, u := range n.pendingU {
+		if n.inner.s.ContainsAll(u) {
+			delete(n.pendingU, p)
+			n.acceptU(p, u)
+		}
+	}
+}
+
+// afterInner fires the extra round once Algorithm 3 would have delivered.
+func (n *BindingNode) afterInner(env sim.Env) {
+	if n.sentU {
+		return
+	}
+	u, ok := n.inner.Delivered()
+	if !ok {
+		return
+	}
+	n.sentU = true
+	env.Broadcast(distUMsg{From: n.inner.self, U: u.Clone()})
+}
+
+func (n *BindingNode) acceptU(from types.ProcessID, u Pairs) {
+	n.v.Merge(u)
+	n.uFrom.Add(from)
+	if !n.delivered && n.inner.cfg.Trust.HasQuorumWithin(n.inner.self, n.uFrom) {
+		n.delivered = true
+		n.output = n.v.Clone()
+	}
+}
+
+// Delivered returns the bound output set, if any.
+func (n *BindingNode) Delivered() (Pairs, bool) {
+	if !n.delivered {
+		return nil, false
+	}
+	return n.output, true
+}
+
+// SentS exposes the inner S snapshot for common-core analysis.
+func (n *BindingNode) SentS() Pairs { return n.inner.SentS() }
+
+// InnerDelivered exposes the inner (non-binding) U set, for comparing the
+// two layers in experiments.
+func (n *BindingNode) InnerDelivered() (Pairs, bool) { return n.inner.Delivered() }

@@ -1,0 +1,219 @@
+package gather
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Control messages of Algorithm 3.
+
+type ackMsg struct{}
+
+type readyMsg struct{}
+
+type confirmMsg struct{}
+
+// ConstantRoundNode runs the paper's Algorithm 3, the first constant-round
+// asymmetric gather:
+//
+//	line 42–45: arb-broadcast the input; S accumulates arb-deliveries.
+//	line 46–47: once S contains a quorum, send [DISTRIBUTE_S, S] to all.
+//	line 48–50: on [DISTRIBUTE_S, S_j] with S_j ⊆ S and ¬sentT:
+//	            T ∪= S_j and ACK the sender. (Arrivals whose components
+//	            have not all been arb-delivered yet are buffered.)
+//	line 51–52: on ACKs from a quorum, send READY to all.
+//	line 53–54: on READY from a quorum, send CONFIRM to all.
+//	line 55–56: on CONFIRM from a kernel, send CONFIRM to all (Bracha
+//	            amplification).
+//	line 57–59: on CONFIRM from a quorum, send [DISTRIBUTE_T, T] and stop
+//	            acknowledging.
+//	line 60–61: on [DISTRIBUTE_T, T_j] with T_j ⊆ S: U ∪= T_j.
+//	line 62–63: once accepted DISTRIBUTE_T messages cover a quorum,
+//	            ag-deliver(U).
+//
+// The ACK/READY/CONFIRM flow guarantees that before anyone distributes its
+// T set, some maximal-guild process has placed its S set in the T set of a
+// full quorum — which quorum consistency then spreads into everyone's U
+// set (Lemmas 3.3–3.7).
+type ConstantRoundNode struct {
+	cfg  Config
+	self types.ProcessID
+
+	bc broadcast.Broadcaster
+
+	s        Pairs
+	sSenders types.Set
+	t        Pairs
+	u        Pairs
+
+	acks     types.Set
+	readies  types.Set
+	confirms types.Set
+	tFrom    types.Set
+
+	pendingS map[types.ProcessID]Pairs
+	pendingT map[types.ProcessID]Pairs
+
+	sentS       bool
+	sentReady   bool
+	sentConfirm bool
+	sentT       bool
+	delivered   bool
+
+	sSnapshot Pairs
+	output    Pairs
+}
+
+var _ sim.Node = (*ConstantRoundNode)(nil)
+
+// NewConstantRoundNode creates an Algorithm 3 node; the protocol starts at
+// Init.
+func NewConstantRoundNode(cfg Config) *ConstantRoundNode {
+	return &ConstantRoundNode{
+		cfg:      cfg,
+		s:        NewPairs(),
+		t:        NewPairs(),
+		u:        NewPairs(),
+		pendingS: map[types.ProcessID]Pairs{},
+		pendingT: map[types.ProcessID]Pairs{},
+	}
+}
+
+// Init implements sim.Node: ag-propose(input).
+func (n *ConstantRoundNode) Init(env sim.Env) {
+	n.self = env.Self()
+	nn := env.N()
+	n.sSenders = types.NewSet(nn)
+	n.acks = types.NewSet(nn)
+	n.readies = types.NewSet(nn)
+	n.confirms = types.NewSet(nn)
+	n.tFrom = types.NewSet(nn)
+	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
+		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
+	}
+	if n.cfg.Mode == UsePlain {
+		n.bc = broadcast.NewPlain(n.self, deliver)
+	} else {
+		n.bc = broadcast.NewReliable(n.self, n.cfg.Trust, deliver)
+	}
+	n.bc.Broadcast(env, 0, broadcast.Bytes(n.cfg.Input))
+}
+
+func (n *ConstantRoundNode) onInput(env sim.Env, src types.ProcessID, value string) {
+	if !n.s.Set(src, value) {
+		return
+	}
+	n.sSenders.Add(src)
+	if !n.sentS && n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+		n.sentS = true
+		n.sSnapshot = n.s.Clone()
+		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
+	}
+	n.drainPending(env)
+}
+
+// drainPending retries buffered DISTRIBUTE_S/T messages whose components
+// may now have been arb-delivered.
+func (n *ConstantRoundNode) drainPending(env sim.Env) {
+	for from, s := range n.pendingS {
+		if n.sentT {
+			delete(n.pendingS, from)
+			continue
+		}
+		if n.s.ContainsAll(s) {
+			delete(n.pendingS, from)
+			n.acceptS(env, from, s)
+		}
+	}
+	for from, tt := range n.pendingT {
+		if n.s.ContainsAll(tt) {
+			delete(n.pendingT, from)
+			n.acceptT(env, from, tt)
+		}
+	}
+}
+
+func (n *ConstantRoundNode) acceptS(env sim.Env, from types.ProcessID, s Pairs) {
+	n.t.Merge(s)
+	env.Send(from, ackMsg{})
+}
+
+func (n *ConstantRoundNode) acceptT(env sim.Env, from types.ProcessID, t Pairs) {
+	n.u.Merge(t)
+	n.tFrom.Add(from)
+	if !n.delivered && n.cfg.Trust.HasQuorumWithin(n.self, n.tFrom) {
+		n.delivered = true
+		n.output = n.u.Clone()
+	}
+}
+
+// Receive implements sim.Node.
+func (n *ConstantRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if n.bc.Handle(env, from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case distSMsg:
+		if m.From != from {
+			return
+		}
+		if n.sentT {
+			return // line 48: no ACK once T was distributed
+		}
+		if n.s.ContainsAll(m.S) {
+			n.acceptS(env, from, m.S)
+		} else {
+			n.pendingS[from] = m.S
+		}
+	case ackMsg:
+		n.acks.Add(from)
+		if !n.sentReady && n.cfg.Trust.HasQuorumWithin(n.self, n.acks) {
+			n.sentReady = true
+			env.Broadcast(readyMsg{})
+		}
+	case readyMsg:
+		n.readies.Add(from)
+		if !n.sentConfirm && n.cfg.Trust.HasQuorumWithin(n.self, n.readies) {
+			n.sentConfirm = true
+			env.Broadcast(confirmMsg{})
+		}
+	case confirmMsg:
+		n.confirms.Add(from)
+		if !n.sentConfirm && n.cfg.Trust.HasKernelWithin(n.self, n.confirms) {
+			n.sentConfirm = true
+			env.Broadcast(confirmMsg{})
+		}
+		if !n.sentT && n.cfg.Trust.HasQuorumWithin(n.self, n.confirms) {
+			n.sentT = true
+			n.pendingS = map[types.ProcessID]Pairs{} // stop acknowledging
+			env.Broadcast(distTMsg{From: n.self, T: n.t.Clone()})
+		}
+	case distTMsg:
+		if m.From != from {
+			return
+		}
+		if n.s.ContainsAll(m.T) {
+			n.acceptT(env, from, m.T)
+		} else {
+			n.pendingT[from] = m.T
+		}
+	}
+}
+
+// Delivered returns the ag-delivered set, if any.
+func (n *ConstantRoundNode) Delivered() (Pairs, bool) {
+	if !n.delivered {
+		return nil, false
+	}
+	return n.output, true
+}
+
+// SentS returns the S snapshot this node distributed (nil until sent).
+func (n *ConstantRoundNode) SentS() Pairs { return n.sSnapshot }
+
+// KnownInputs returns a copy of every (process, value) pair this node has
+// arb-delivered so far — a superset of the delivered U set. Composed
+// protocols (internal/acs) use it to look up values for processes whose
+// inclusion was agreed on.
+func (n *ConstantRoundNode) KnownInputs() Pairs { return n.s.Clone() }

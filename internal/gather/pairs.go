@@ -1,0 +1,130 @@
+// Package gather implements the paper's common-core protocols (§2.4, §3):
+//
+//   - ThreeRound: the classic three-round gather (Algorithm 1) and its
+//     quorum-replacement generalization (Algorithm 2) — they are the same
+//     code; instantiating the trust assumption with quorum.Threshold yields
+//     Algorithm 1, with an asymmetric system yields Algorithm 2. The paper
+//     proves (Lemma 3.2) that the asymmetric instantiation does NOT satisfy
+//     the common-core property; this package exists both as the symmetric
+//     baseline and as the vehicle for reproducing that counterexample.
+//   - ConstantRound: the paper's novel constant-round asymmetric gather
+//     (Algorithm 3) with DISTRIBUTE_S / ACK / READY / CONFIRM /
+//     DISTRIBUTE_T control flow.
+//   - Abstract round-merge model: the pure-set-algebra execution of
+//     Listing 1, used to regenerate Figures 2–4 exactly.
+package gather
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Pairs is a set of (process, value) pairs — the S/T/U sets of the gather
+// protocols. The map key is the proposing process; correct processes never
+// associate two values with one process (reliable broadcast forbids it),
+// but messages from Byzantine processes may try, so all merging goes
+// through conflict-aware methods.
+type Pairs map[types.ProcessID]string
+
+// NewPairs returns an empty pair set.
+func NewPairs() Pairs { return Pairs{} }
+
+// Clone returns an independent copy.
+func (p Pairs) Clone() Pairs {
+	c := make(Pairs, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// Set associates value v with process k, returning false if a conflicting
+// value is already present (the caller should then reject the message).
+func (p Pairs) Set(k types.ProcessID, v string) bool {
+	if old, ok := p[k]; ok {
+		return old == v
+	}
+	p[k] = v
+	return true
+}
+
+// ContainsAll reports whether every pair of other appears in p with the
+// same value (other ⊆ p).
+func (p Pairs) ContainsAll(other Pairs) bool {
+	for k, v := range other {
+		if got, ok := p[k]; !ok || got != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge adds every pair of other into p. It returns false (and leaves the
+// remaining pairs merged) if any pair conflicts with an existing value.
+func (p Pairs) Merge(other Pairs) bool {
+	ok := true
+	for k, v := range other {
+		if !p.Set(k, v) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Senders returns the set of processes appearing in p, over a universe of
+// size n.
+func (p Pairs) Senders(n int) types.Set {
+	s := types.NewSet(n)
+	for k := range p {
+		s.Add(k)
+	}
+	return s
+}
+
+// Len returns the number of pairs.
+func (p Pairs) Len() int { return len(p) }
+
+// String renders the pairs sorted by process, for deterministic test and
+// experiment output.
+func (p Pairs) String() string {
+	keys := make([]int, 0, len(p))
+	for k := range p {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%q", k+1, p[types.ProcessID(k)])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// SimSize approximates the wire size of a pair set.
+func (p Pairs) SimSize() int {
+	sz := 0
+	for _, v := range p {
+		sz += 8 + len(v)
+	}
+	return sz
+}
+
+// RegisterWire registers this package's message types with encoding/gob
+// for use over a real transport. Safe to call multiple times.
+func RegisterWire() {
+	gob.Register(distSMsg{})
+	gob.Register(distTMsg{})
+	gob.Register(distUMsg{})
+	gob.Register(ackMsg{})
+	gob.Register(readyMsg{})
+	gob.Register(confirmMsg{})
+	gob.Register(Pairs{})
+}

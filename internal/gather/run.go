@@ -1,0 +1,108 @@
+package gather
+
+import (
+	"fmt"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Kind selects a gather protocol for RunCluster.
+type Kind int
+
+const (
+	// KindThreeRound is Algorithm 1 (threshold trust) / Algorithm 2
+	// (asymmetric trust).
+	KindThreeRound Kind = iota
+	// KindConstantRound is Algorithm 3.
+	KindConstantRound
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindThreeRound:
+		return "three-round"
+	case KindConstantRound:
+		return "constant-round"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// RunConfig configures one gather execution.
+type RunConfig struct {
+	Kind    Kind
+	Trust   quorum.Assumption
+	Mode    Dissemination
+	Latency sim.LatencyModel
+	Seed    int64
+	// Faulty optionally replaces nodes with faulty behaviours.
+	Faulty map[types.ProcessID]sim.Node
+	// MaxEvents bounds the run (0 = run to quiescence).
+	MaxEvents int
+}
+
+// RunResult captures everything the experiments need from one execution.
+type RunResult struct {
+	// Outputs maps each process that g-delivered to its output set.
+	Outputs map[types.ProcessID]Pairs
+	// SSnapshots maps each process that distributed an S set to that
+	// snapshot (the common core, when it exists, is one of these).
+	SSnapshots map[types.ProcessID]Pairs
+	// Metrics are the network statistics of the run.
+	Metrics *sim.Metrics
+	// EndTime is the virtual time of quiescence (or cutoff).
+	EndTime sim.VirtualTime
+}
+
+// InputValue is the conventional test input of a process.
+func InputValue(p types.ProcessID) string { return fmt.Sprintf("v%d", int(p)+1) }
+
+// RunCluster executes one gather instance across cfg.Trust.N() processes
+// and collects the outputs. Process p proposes InputValue(p).
+func RunCluster(cfg RunConfig) RunResult {
+	n := cfg.Trust.N()
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		c := Config{Trust: cfg.Trust, Input: InputValue(types.ProcessID(i)), Mode: cfg.Mode}
+		if cfg.Kind == KindConstantRound {
+			nodes[i] = NewConstantRoundNode(c)
+		} else {
+			nodes[i] = NewThreeRoundNode(c)
+		}
+	}
+	for p, f := range cfg.Faulty {
+		nodes[p] = f
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency}, nodes)
+	r.Run(cfg.MaxEvents)
+
+	res := RunResult{
+		Outputs:    map[types.ProcessID]Pairs{},
+		SSnapshots: map[types.ProcessID]Pairs{},
+		Metrics:    r.Metrics(),
+		EndTime:    r.Now(),
+	}
+	for i, nd := range nodes {
+		p := types.ProcessID(i)
+		switch g := nd.(type) {
+		case *ThreeRoundNode:
+			if out, ok := g.Delivered(); ok {
+				res.Outputs[p] = out
+			}
+			if s := g.SentS(); s != nil {
+				res.SSnapshots[p] = s
+			}
+		case *ConstantRoundNode:
+			if out, ok := g.Delivered(); ok {
+				res.Outputs[p] = out
+			}
+			if s := g.SentS(); s != nil {
+				res.SSnapshots[p] = s
+			}
+		}
+	}
+	return res
+}

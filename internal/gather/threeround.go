@@ -1,0 +1,207 @@
+package gather
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Dissemination selects the broadcast layer used for the initial inputs.
+type Dissemination int
+
+const (
+	// UseReliable disseminates inputs via asymmetric reliable broadcast —
+	// the protocol as written in the paper (arb-broadcast).
+	UseReliable Dissemination = iota
+	// UsePlain disseminates via best-effort broadcast. Valid when the
+	// sender is correct; the Appendix A all-correct executions use it so
+	// the adversarial schedule acts directly on protocol rounds.
+	UsePlain
+)
+
+// Config configures a gather node.
+type Config struct {
+	Trust quorum.Assumption
+	Input string
+	Mode  Dissemination
+}
+
+// Message types shared by the gather protocols.
+
+type distSMsg struct {
+	From types.ProcessID
+	S    Pairs
+}
+
+func (m distSMsg) SimSize() int { return 8 + m.S.SimSize() }
+
+type distTMsg struct {
+	From types.ProcessID
+	T    Pairs
+}
+
+func (m distTMsg) SimSize() int { return 8 + m.T.SimSize() }
+
+// ThreeRoundNode runs Algorithm 1 / Algorithm 2: three rounds of
+// collect-and-forward with quorum triggers, no control messages.
+//
+//	round 1: arb-broadcast input; S accumulates deliveries; once S contains
+//	         a quorum, send [DISTRIBUTE_S, S] to all.
+//	round 2: T accumulates received S sets; once DISTRIBUTE_S messages have
+//	         arrived from a quorum, send [DISTRIBUTE_T, T] to all.
+//	round 3: U accumulates received T sets; once DISTRIBUTE_T messages have
+//	         arrived from a quorum, g-deliver U.
+//
+// With quorum.Threshold this is exactly the threshold gather of Abraham et
+// al. (Algorithm 1, triggers "received n−f messages"); with an asymmetric
+// System it is the unsound quorum-replacement attempt (Algorithm 2).
+type ThreeRoundNode struct {
+	cfg  Config
+	self types.ProcessID
+
+	bc broadcast.Broadcaster
+
+	s Pairs // arb-delivered (process, value) pairs
+	t Pairs
+	u Pairs
+
+	sSenders types.Set // processes whose input has been arb-delivered
+	sFrom    types.Set // processes whose DISTRIBUTE_S arrived
+	tFrom    types.Set // processes whose DISTRIBUTE_T arrived
+
+	sentS     bool
+	sentT     bool
+	delivered bool
+
+	sSnapshot Pairs // the S set this node sent (for common-core analysis)
+	output    Pairs
+}
+
+var _ sim.Node = (*ThreeRoundNode)(nil)
+
+// NewThreeRoundNode creates a gather node; the protocol starts at Init.
+func NewThreeRoundNode(cfg Config) *ThreeRoundNode {
+	return &ThreeRoundNode{cfg: cfg, s: NewPairs(), t: NewPairs(), u: NewPairs()}
+}
+
+// Init implements sim.Node: it g-proposes the configured input.
+func (n *ThreeRoundNode) Init(env sim.Env) {
+	n.self = env.Self()
+	n.sSenders = types.NewSet(env.N())
+	n.sFrom = types.NewSet(env.N())
+	n.tFrom = types.NewSet(env.N())
+	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
+		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
+	}
+	if n.cfg.Mode == UsePlain {
+		n.bc = broadcast.NewPlain(n.self, deliver)
+	} else {
+		n.bc = broadcast.NewReliable(n.self, n.cfg.Trust, deliver)
+	}
+	n.bc.Broadcast(env, 0, broadcast.Bytes(n.cfg.Input))
+}
+
+func (n *ThreeRoundNode) onInput(env sim.Env, src types.ProcessID, value string) {
+	if !n.s.Set(src, value) {
+		return // conflicting value; reliable broadcast makes this unreachable
+	}
+	n.sSenders.Add(src)
+	// Note: T and U grow only from DISTRIBUTE messages (Algorithm 1
+	// lines 11–17); the local S reaches T via self-delivery of this
+	// node's own DISTRIBUTE_S. Keeping this exact matches the abstract
+	// execution of Listing 1 set-for-set.
+	n.maybeSendS(env)
+}
+
+func (n *ThreeRoundNode) maybeSendS(env sim.Env) {
+	if n.sentS || !n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+		return
+	}
+	n.sentS = true
+	n.sSnapshot = n.s.Clone()
+	env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
+}
+
+// Receive implements sim.Node.
+func (n *ThreeRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if n.bc.Handle(env, from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case distSMsg:
+		if m.From != from {
+			return // authenticated links
+		}
+		// Algorithm 1/2 line 11–12: merge unconditionally into T only (U
+		// accumulates DISTRIBUTE_T contents exclusively, line 15–16).
+		n.t.Merge(m.S)
+		n.sFrom.Add(from)
+		n.maybeSendT(env)
+	case distTMsg:
+		if m.From != from {
+			return
+		}
+		n.u.Merge(m.T)
+		n.tFrom.Add(from)
+		n.maybeDeliver(env)
+	}
+}
+
+func (n *ThreeRoundNode) maybeSendT(env sim.Env) {
+	if n.sentT || !n.cfg.Trust.HasQuorumWithin(n.self, n.sFrom) {
+		return
+	}
+	n.sentT = true
+	env.Broadcast(distTMsg{From: n.self, T: n.t.Clone()})
+}
+
+func (n *ThreeRoundNode) maybeDeliver(env sim.Env) {
+	if n.delivered || !n.cfg.Trust.HasQuorumWithin(n.self, n.tFrom) {
+		return
+	}
+	n.delivered = true
+	n.output = n.u.Clone()
+}
+
+// Delivered returns the g-delivered set, if any.
+func (n *ThreeRoundNode) Delivered() (Pairs, bool) {
+	if !n.delivered {
+		return nil, false
+	}
+	return n.output, true
+}
+
+// SentS returns the S snapshot this node distributed (nil until sent); the
+// common core, when it exists, is one of these snapshots.
+func (n *ThreeRoundNode) SentS() Pairs { return n.sSnapshot }
+
+// AnalyzeCommonCore checks the common-core property over a set of
+// processes (typically the maximal guild): it returns the processes j in
+// `within` whose sent S snapshot is contained in the delivered U set of
+// every member of `within` that delivered. Nodes that have not delivered
+// are skipped; sSnap/uSets index by process ID.
+func AnalyzeCommonCore(n int, sSnap map[types.ProcessID]Pairs, uSets map[types.ProcessID]Pairs, within types.Set) types.Set {
+	out := types.NewSet(n)
+	for _, j := range within.Members() {
+		sj, ok := sSnap[j]
+		if !ok || sj == nil {
+			continue
+		}
+		good := true
+		for _, i := range within.Members() {
+			u, ok := uSets[i]
+			if !ok {
+				continue
+			}
+			if !u.ContainsAll(sj) {
+				good = false
+				break
+			}
+		}
+		if good {
+			out.Add(j)
+		}
+	}
+	return out
+}

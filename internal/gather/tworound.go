@@ -1,0 +1,116 @@
+package gather
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// TwoRoundNode is the Tusk-style two-round common-core primitive (paper
+// §3.2: "Tusk uses a simpler 2 round common core primitive"), generalized
+// with quorum triggers the same way Algorithm 2 generalizes Algorithm 1:
+//
+//	round 1: broadcast the input; S accumulates deliveries; once S
+//	         contains a quorum, send [DISTRIBUTE_S, S] to all.
+//	round 2: U accumulates received S sets; once DISTRIBUTE_S messages
+//	         have arrived from a quorum, deliver U.
+//
+// With threshold trust, a common core of n−2f elements exists (Tusk's
+// guarantee). With asymmetric quorums the paper notes the Figure 1
+// counterexample defeats this primitive as well — reproduced by
+// TestTuskTwoRoundCounterexample.
+type TwoRoundNode struct {
+	cfg  Config
+	self types.ProcessID
+
+	bc broadcast.Broadcaster
+
+	s        Pairs
+	sSenders types.Set
+	u        Pairs
+	sFrom    types.Set
+
+	sentS     bool
+	delivered bool
+
+	sSnapshot Pairs
+	output    Pairs
+}
+
+var _ sim.Node = (*TwoRoundNode)(nil)
+
+// NewTwoRoundNode creates a two-round gather node.
+func NewTwoRoundNode(cfg Config) *TwoRoundNode {
+	return &TwoRoundNode{cfg: cfg, s: NewPairs(), u: NewPairs()}
+}
+
+// Init implements sim.Node.
+func (n *TwoRoundNode) Init(env sim.Env) {
+	n.self = env.Self()
+	n.sSenders = types.NewSet(env.N())
+	n.sFrom = types.NewSet(env.N())
+	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
+		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
+	}
+	if n.cfg.Mode == UsePlain {
+		n.bc = broadcast.NewPlain(n.self, deliver)
+	} else {
+		n.bc = broadcast.NewReliable(n.self, n.cfg.Trust, deliver)
+	}
+	n.bc.Broadcast(env, 0, broadcast.Bytes(n.cfg.Input))
+}
+
+func (n *TwoRoundNode) onInput(env sim.Env, src types.ProcessID, value string) {
+	if !n.s.Set(src, value) {
+		return
+	}
+	n.sSenders.Add(src)
+	if !n.sentS && n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+		n.sentS = true
+		n.sSnapshot = n.s.Clone()
+		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
+	}
+}
+
+// Receive implements sim.Node.
+func (n *TwoRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	if n.bc.Handle(env, from, msg) {
+		return
+	}
+	m, ok := msg.(distSMsg)
+	if !ok || m.From != from {
+		return
+	}
+	n.u.Merge(m.S)
+	n.sFrom.Add(from)
+	if !n.delivered && n.cfg.Trust.HasQuorumWithin(n.self, n.sFrom) {
+		n.delivered = true
+		n.output = n.u.Clone()
+	}
+}
+
+// Delivered returns the delivered set, if any.
+func (n *TwoRoundNode) Delivered() (Pairs, bool) {
+	if !n.delivered {
+		return nil, false
+	}
+	return n.output, true
+}
+
+// SentS returns the S snapshot this node distributed (nil until sent).
+func (n *TwoRoundNode) SentS() Pairs { return n.sSnapshot }
+
+// TuskCommonCoreElements computes, for the two-round primitive, the set of
+// individual inputs (not whole S sets) present in every delivered output —
+// Tusk's common core is a set of elements rather than one process's S set.
+func TuskCommonCoreElements(n int, outputs map[types.ProcessID]Pairs, within types.Set) types.Set {
+	core := types.FullSet(n)
+	for _, p := range within.Members() {
+		out, ok := outputs[p]
+		if !ok {
+			continue
+		}
+		core = core.Intersect(out.Senders(n))
+	}
+	return core
+}

@@ -1,0 +1,98 @@
+package gather
+
+import (
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// runTwoRound executes a cluster of TwoRoundNodes (not covered by
+// RunCluster, which handles the paper's two main protocols).
+func runTwoRound(trust quorum.Assumption, mode Dissemination, lat sim.LatencyModel, seed int64) (map[types.ProcessID]Pairs, map[types.ProcessID]Pairs) {
+	n := trust.N()
+	nodes := make([]sim.Node, n)
+	raw := make([]*TwoRoundNode, n)
+	for i := range nodes {
+		nd := NewTwoRoundNode(Config{Trust: trust, Input: InputValue(types.ProcessID(i)), Mode: mode})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: lat}, nodes)
+	r.Run(0)
+	outputs := map[types.ProcessID]Pairs{}
+	snaps := map[types.ProcessID]Pairs{}
+	for i, nd := range raw {
+		if out, ok := nd.Delivered(); ok {
+			outputs[types.ProcessID(i)] = out
+		}
+		if s := nd.SentS(); s != nil {
+			snaps[types.ProcessID(i)] = s
+		}
+	}
+	return outputs, snaps
+}
+
+// TestTuskTwoRoundThreshold: with threshold trust, the two-round primitive
+// guarantees at least n−2f inputs common to every output.
+func TestTuskTwoRoundThreshold(t *testing.T) {
+	n, f := 7, 2
+	trust := quorum.NewThreshold(n, f)
+	for seed := int64(0); seed < 10; seed++ {
+		outputs, _ := runTwoRound(trust, UseReliable, sim.UniformLatency{Min: 1, Max: 40}, seed)
+		if len(outputs) != n {
+			t.Fatalf("seed %d: %d delivered", seed, len(outputs))
+		}
+		core := TuskCommonCoreElements(n, outputs, types.FullSet(n))
+		if core.Count() < n-2*f {
+			t.Fatalf("seed %d: common elements %v < n−2f = %d", seed, core, n-2*f)
+		}
+	}
+}
+
+// TestTuskTwoRoundCounterexample reproduces the paper's §3.2 remark: the
+// same Figure 1 counterexample defeats the asymmetric translation of
+// Tusk's two-round primitive — under the adversarial schedule the
+// intersection of all outputs is EMPTY.
+func TestTuskTwoRoundCounterexample(t *testing.T) {
+	sys := quorum.Counterexample()
+	n := sys.N()
+	outputs, _ := runTwoRound(sys, UsePlain, adversarialLatency(sys), 1)
+	if len(outputs) != n {
+		t.Fatalf("%d delivered", len(outputs))
+	}
+	core := TuskCommonCoreElements(n, outputs, types.FullSet(n))
+	if !core.IsEmpty() {
+		t.Fatalf("expected empty common element set, got %v", core)
+	}
+	// The abstract 2-round merge agrees with the message-level outputs.
+	abstract := RoundSets(n, CanonicalChoice(sys), 2)
+	for p, out := range outputs {
+		if !out.Senders(n).Equal(abstract[p]) {
+			t.Errorf("%v delivered %v, abstract 2-round predicts %v", p, out.Senders(n), abstract[p])
+		}
+	}
+}
+
+// TestTuskTwoRoundCheaperThanThreeRound documents the cost ordering of the
+// three primitives on one system.
+func TestTuskTwoRoundCheaperThanThreeRound(t *testing.T) {
+	sys := quorum.Counterexample()
+	lat := sim.UniformLatency{Min: 1, Max: 10}
+
+	n := sys.N()
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = NewTwoRoundNode(Config{Trust: sys, Input: InputValue(types.ProcessID(i)), Mode: UsePlain})
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 2, Latency: lat}, nodes)
+	r.Run(0)
+	two := r.Metrics().MessagesSent
+
+	three := RunCluster(RunConfig{Kind: KindThreeRound, Trust: sys, Mode: UsePlain, Latency: lat, Seed: 2}).Metrics.MessagesSent
+	constant := RunCluster(RunConfig{Kind: KindConstantRound, Trust: sys, Mode: UsePlain, Latency: lat, Seed: 2}).Metrics.MessagesSent
+	if !(two < three && three < constant) {
+		t.Errorf("expected msg ordering two(%d) < three(%d) < constant(%d)", two, three, constant)
+	}
+}

@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/acs"
+	"repro/internal/gather"
+	"repro/internal/quorum"
+	"repro/internal/rider"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Extension experiments beyond the paper's own artifacts: quantifying the
+// §2.4 gather-vs-ACS distinction, the binding gather's extra round, and the
+// garbage-collection ablation of the §4.5 memory caveat.
+
+// ExtensionExperiments returns the additional experiments (appended to
+// All() by cmd/experiments via AllWithExtensions).
+func ExtensionExperiments() []Experiment {
+	return []Experiment{
+		{"acs", "§2.4 distinction: gather (common core inside outputs) vs ACS (identical outputs)", ExpACS},
+		{"binding", "§2.4 binding gather: one extra round fixes the core at first delivery", ExpBinding},
+		{"gc", "§4.5 memory: garbage-collected DAG vs unbounded DAG-Rider", ExpGC},
+		{"latency", "Vertex commit latency in rounds (wave-structure cost)", ExpLatency},
+		{"batching", "Throughput vs block size (dissemination/ordering decoupling)", ExpBatching},
+	}
+}
+
+// AllWithExtensions returns every experiment, paper artifacts first.
+func AllWithExtensions() []Experiment {
+	return append(All(), ExtensionExperiments()...)
+}
+
+// ExpACS runs gather and ACS on the same system and compares output
+// dispersion and cost (E11).
+func ExpACS() string {
+	trust := quorum.NewThreshold(7, 2)
+	lat := sim.UniformLatency{Min: 1, Max: 50}
+	var b strings.Builder
+
+	// Gather: count distinct outputs.
+	gres := gather.RunCluster(gather.RunConfig{
+		Kind: gather.KindConstantRound, Trust: trust, Mode: gather.UseReliable,
+		Latency: lat, Seed: 3,
+	})
+	distinct := map[string]bool{}
+	for _, out := range gres.Outputs {
+		distinct[out.String()] = true
+	}
+	fmt.Fprintf(&b, "gather (Algorithm 3) on threshold(7,2): %d distinct output sets across 7 processes\n", len(distinct))
+
+	// ACS: all outputs identical by construction; measure the extra cost.
+	n := trust.N()
+	nodes := make([]sim.Node, n)
+	raw := make([]*acs.Node, n)
+	for i := range nodes {
+		nd := acs.NewNode(acs.Config{
+			Trust: trust, Input: gather.InputValue(types.ProcessID(i)),
+			CoinSeed: 9, Mode: gather.UseReliable,
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 3, Latency: lat}, nodes)
+	r.Run(0)
+	acsDistinct := map[string]bool{}
+	finished := 0
+	for _, nd := range raw {
+		if out, ok := nd.Output(); ok {
+			acsDistinct[out.String()] = true
+			finished++
+		}
+	}
+	fmt.Fprintf(&b, "ACS (gather + n binary agreements): %d/%d finished, %d distinct output sets\n",
+		finished, n, len(acsDistinct))
+	fmt.Fprintf(&b, "cost: gather %d msgs / vtime %d; ACS %d msgs / vtime %d\n",
+		gres.Metrics.MessagesSent, gres.EndTime, r.Metrics().MessagesSent, r.Now())
+	b.WriteString("\npaper §2.4: gather is deterministic-constant-round but only guarantees a common core\n" +
+		"inside possibly different outputs; ACS is consensus-equivalent (identical outputs,\n" +
+		"expected-constant time) and costs correspondingly more.\n")
+	return b.String()
+}
+
+// ExpBinding compares Algorithm 3 with its binding variant (E12).
+func ExpBinding() string {
+	sys := quorum.Counterexample()
+	lat := sim.UniformLatency{Min: 1, Max: 10}
+	n := sys.N()
+
+	plain := gather.RunCluster(gather.RunConfig{
+		Kind: gather.KindConstantRound, Trust: sys, Mode: gather.UsePlain, Latency: lat, Seed: 3,
+	})
+
+	nodes := make([]sim.Node, n)
+	raw := make([]*gather.BindingNode, n)
+	for i := range nodes {
+		nd := gather.NewBindingNode(gather.Config{Trust: sys, Input: gather.InputValue(types.ProcessID(i)), Mode: gather.UsePlain})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	r := sim.NewRunner(sim.Config{N: n, Seed: 3, Latency: lat}, nodes)
+	r.Run(0)
+	delivered := 0
+	for _, nd := range raw {
+		if _, ok := nd.Delivered(); ok {
+			delivered++
+		}
+	}
+
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "variant\tdelivered\tmessages\tvirtual time")
+	fmt.Fprintf(w, "Algorithm 3\t%d/%d\t%d\t%d\n", len(plain.Outputs), n, plain.Metrics.MessagesSent, plain.EndTime)
+	fmt.Fprintf(w, "binding (+1 round)\t%d/%d\t%d\t%d\n", delivered, n, r.Metrics().MessagesSent, r.Now())
+	w.Flush()
+	b.WriteString("\npaper §2.4 (after Abraham et al.): a binding common core — fixed once the first\n" +
+		"correct process delivers, closing Shoup's attack on Tusk — costs one extra round.\n")
+	return b.String()
+}
+
+// ExpGC compares memory retention with and without garbage collection
+// (E13).
+func ExpGC() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mode\twaves\tretained vertices (max node)\tdeliveries identical")
+	trust := quorum.NewThreshold(4, 1)
+
+	run := func(gc int) (int, RiderResult) {
+		res := RunRider(RiderConfig{
+			Kind: Asymmetric, Trust: trust, NumWaves: 16, TxPerBlock: 1,
+			Seed: 7, CoinSeed: 7, GCDepth: gc,
+		})
+		return res.maxVertexCount, res
+	}
+	fullCount, fullRes := run(0)
+	gcCount, gcRes := run(3)
+	same := true
+	for p, nr := range fullRes.Nodes {
+		g := gcRes.Nodes[p]
+		if len(nr.Deliveries) != len(g.Deliveries) {
+			same = false
+			break
+		}
+		for i := range nr.Deliveries {
+			if nr.Deliveries[i].Ref != g.Deliveries[i].Ref {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "unbounded (paper)\t16\t%d\t—\n", fullCount)
+	fmt.Fprintf(w, "GC depth 3\t16\t%d\t%v\n", gcCount, same)
+	w.Flush()
+	b.WriteString("\npaper §4.5: DAG-Rider needs unbounded memory for fairness; Bullshark-style GC of\n" +
+		"fully delivered rounds bounds retention without changing any delivery.\n")
+	return b.String()
+}
+
+// ExpLatency measures per-vertex commit latency in rounds — the quantity
+// DAG-protocol papers optimize (E14). Latency of a delivered vertex =
+// round(committing wave, 4) − vertex round: how many rounds after its
+// creation the vertex's transactions became final.
+func ExpLatency() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "system\tprotocol\tmean latency (rounds)\tp50\tmax\tvertices")
+	for _, spec := range []struct {
+		name  string
+		kind  RiderKind
+		trust quorum.Assumption
+	}{
+		{"threshold(4,1)", Symmetric, quorum.NewThreshold(4, 1)},
+		{"threshold(4,1)", Asymmetric, quorum.NewThreshold(4, 1)},
+		{"threshold(7,2)", Symmetric, quorum.NewThreshold(7, 2)},
+		{"threshold(7,2)", Asymmetric, quorum.NewThreshold(7, 2)},
+	} {
+		res := RunRider(RiderConfig{
+			Kind: spec.kind, Trust: spec.trust, NumWaves: 12, TxPerBlock: 1,
+			Seed: 5, CoinSeed: 5,
+		})
+		var lats []int
+		for _, nr := range res.Nodes {
+			for _, d := range nr.Deliveries {
+				if d.Ref.Round < 1 {
+					continue // genesis
+				}
+				lats = append(lats, rider.WaveRound(d.Wave, 4)-d.Ref.Round)
+			}
+			break // one representative node
+		}
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Ints(lats)
+		sum := 0
+		for _, l := range lats {
+			sum += l
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%d\t%d\t%d\n",
+			spec.name, spec.kind, float64(sum)/float64(len(lats)),
+			lats[len(lats)/2], lats[len(lats)-1], len(lats))
+	}
+	w.Flush()
+	b.WriteString("\nlatency is bounded by the wave structure: a round-1 vertex of a committing wave\n" +
+		"waits 3 rounds, plus whole skipped waves when the commit rule misses (DAG-Rider's\n" +
+		"expected 3/2-wave commit cadence keeps the tail short).\n")
+	return b.String()
+}
+
+// ExpBatching sweeps the block size and reports throughput — the
+// dissemination/ordering decoupling argument (paper §1: DAGs improve
+// throughput "by concurrently batching transactions") made measurable
+// (E15).
+func ExpBatching() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "tx/block\ttx delivered\tvtime\ttx per vtime\tbytes/tx")
+	trust := quorum.NewThreshold(4, 1)
+	for _, batch := range []int{1, 4, 16, 64} {
+		res := RunRider(RiderConfig{
+			Kind: Asymmetric, Trust: trust, NumWaves: 8, TxPerBlock: batch,
+			Seed: 3, CoinSeed: 3,
+		})
+		med := 0
+		for _, nr := range res.Nodes {
+			med = len(nr.Blocks)
+			break
+		}
+		perTime := float64(med) / float64(res.EndTime)
+		bytesPerTx := 0.0
+		if med > 0 {
+			bytesPerTx = float64(res.Metrics.BytesSent) / float64(med)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.3f\t%.0f\n", batch, med, res.EndTime, perTime, bytesPerTx)
+	}
+	w.Flush()
+	b.WriteString("\nthroughput scales with the batch while the round/wave cadence (and hence latency)\n" +
+		"stays fixed — the decoupling of dissemination from ordering that motivates DAG\n" +
+		"protocols (§1). Per-transaction byte cost falls as fixed vertex overhead amortizes.\n")
+	return b.String()
+}

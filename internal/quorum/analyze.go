@@ -1,0 +1,217 @@
+package quorum
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Validate checks the two defining properties of an asymmetric Byzantine
+// quorum system (Definition 2.1):
+//
+//   - Consistency: ∀i,j, ∀Q_i∈Q_i, ∀Q_j∈Q_j, ∀F ∈ F_i* ∩ F_j*:
+//     Q_i ∩ Q_j ⊄ F. Equivalently (used here): the intersection I of any
+//     two quorums must not lie inside both a fail-prone set of i and one
+//     of j.
+//   - Availability: ∀i, ∀F∈F_i: ∃Q∈Q_i with Q ∩ F = ∅.
+//
+// It returns nil if both hold, and a descriptive error naming the first
+// violation otherwise.
+func (s *System) Validate() error {
+	// Availability.
+	for i := 0; i < s.n; i++ {
+		p := types.ProcessID(i)
+		for _, f := range s.failProne[i] {
+			ok := false
+			for _, q := range s.quorums[i] {
+				if !q.Intersects(f) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("quorum: availability violated for %v: no quorum disjoint from fail-prone set %v", p, f)
+			}
+		}
+	}
+	// Consistency. I = Q_i ∩ Q_j violates iff I ⊆ some F∈F_i and
+	// I ⊆ some F'∈F_j (then I ∈ F_i* ∩ F_j*).
+	for i := 0; i < s.n; i++ {
+		pi := types.ProcessID(i)
+		for j := i; j < s.n; j++ {
+			pj := types.ProcessID(j)
+			for _, qi := range s.quorums[i] {
+				for _, qj := range s.quorums[j] {
+					inter := qi.Intersect(qj)
+					if s.Tolerates(pi, inter) && s.Tolerates(pj, inter) {
+						return fmt.Errorf("quorum: consistency violated for %v,%v: quorums %v and %v intersect in %v which both deem fail-prone",
+							pi, pj, qi, qj, inter)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SatisfiesB3 checks the B3 condition (Definition 2.3) on the fail-prone
+// system: ∀i,j, ∀F_i∈F_i, ∀F_j∈F_j, ∀F_ij ∈ F_i* ∩ F_j*:
+// P ⊄ F_i ∪ F_j ∪ F_ij.
+//
+// The quantifier over the common downward closure reduces to a membership
+// test: P ⊆ F_i ∪ F_j ∪ F_ij for some common F_ij iff the residue
+// R = P \ (F_i ∪ F_j) itself lies in F_i* ∩ F_j*.
+func (s *System) SatisfiesB3() bool {
+	full := types.FullSet(s.n)
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			for _, fi := range s.failProne[i] {
+				for _, fj := range s.failProne[j] {
+					r := full.Subtract(fi.Union(fj))
+					if s.Tolerates(types.ProcessID(i), r) && s.Tolerates(types.ProcessID(j), r) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MinimalKernels enumerates the minimal kernels of process i: the minimal
+// sets that intersect every quorum in Q_i. The search is exponential in the
+// worst case; limit caps the number of kernels returned (0 means no cap).
+// Intended for tooling and tests on small systems.
+func (s *System) MinimalKernels(i types.ProcessID, limit int) []types.Set {
+	quorums := s.quorums[i]
+	var out []types.Set
+	seen := map[string]bool{}
+
+	var rec func(depth int, hit types.Set)
+	rec = func(depth int, hit types.Set) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		// Find first quorum not yet hit.
+		next := -1
+		for k := depth; k < len(quorums); k++ {
+			if !quorums[k].Intersects(hit) {
+				next = k
+				break
+			}
+		}
+		if next == -1 {
+			// hit covers everything; minimalize by dropping redundant members.
+			m := minimalizeKernel(quorums, hit)
+			key := m.Key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, m)
+			}
+			return
+		}
+		for _, p := range quorums[next].Members() {
+			h2 := hit.Clone()
+			h2.Add(p)
+			rec(next+1, h2)
+		}
+	}
+	rec(0, types.NewSet(s.n))
+	return out
+}
+
+// minimalizeKernel removes members of hit that are not needed to intersect
+// every quorum.
+func minimalizeKernel(quorums []types.Set, hit types.Set) types.Set {
+	m := hit.Clone()
+	for _, p := range hit.Members() {
+		m.Remove(p)
+		ok := true
+		for _, q := range quorums {
+			if !q.Intersects(m) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m.Add(p)
+		}
+	}
+	return m
+}
+
+// IsKernel reports whether k intersects every quorum of process i (k is a
+// kernel for i, not necessarily minimal).
+func (s *System) IsKernel(i types.ProcessID, k types.Set) bool {
+	return s.HasKernelWithin(i, k)
+}
+
+// RenderMatrix renders a Figure 1 style matrix: one row per process (from
+// p_n at the top down to p_1, matching the paper's layout), one column per
+// process, with 'Q' marking members of rowFn(p) and 'F' marking members of
+// altFn(p) (either may be nil). Used to regenerate Figures 1–4.
+func RenderMatrix(n int, header string, rowFn, altFn func(types.ProcessID) types.Set) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString("\n     ")
+	for c := 1; c <= n; c++ {
+		fmt.Fprintf(&b, "%3d", c)
+	}
+	b.WriteString("\n")
+	for r := n - 1; r >= 0; r-- {
+		p := types.ProcessID(r)
+		fmt.Fprintf(&b, "%4d ", r+1)
+		var q, f types.Set
+		if rowFn != nil {
+			q = rowFn(p)
+		}
+		if altFn != nil {
+			f = altFn(p)
+		}
+		for c := 0; c < n; c++ {
+			cell := "  ."
+			cp := types.ProcessID(c)
+			if rowFn != nil && q.Contains(cp) {
+				cell = "  Q"
+			}
+			if altFn != nil && f.Contains(cp) {
+				cell = "  F"
+			}
+			b.WriteString(cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Describe returns a human-readable summary of a system: sizes, the B3
+// verdict, validity, and the Lemma 4.4 bound. Used by cmd/quorumtool and
+// handy in tests.
+func (s *System) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "processes: %d\n", s.n)
+	minQ, maxQ, totalQ := s.n+1, 0, 0
+	for i := 0; i < s.n; i++ {
+		qs := s.quorums[i]
+		totalQ += len(qs)
+		for _, q := range qs {
+			if c := q.Count(); c < minQ {
+				minQ = c
+			}
+			if c := q.Count(); c > maxQ {
+				maxQ = c
+			}
+		}
+	}
+	fmt.Fprintf(&b, "quorums: %d total, sizes %d..%d, c(Q)=%d\n", totalQ, minQ, maxQ, s.SmallestQuorumSize())
+	fmt.Fprintf(&b, "B3 condition: %v\n", s.SatisfiesB3())
+	if err := s.Validate(); err != nil {
+		fmt.Fprintf(&b, "valid quorum system: false (%v)\n", err)
+	} else {
+		b.WriteString("valid quorum system: true\n")
+	}
+	fmt.Fprintf(&b, "Lemma 4.4 commit bound |P|/c(Q): %.2f waves\n",
+		float64(s.n)/float64(s.SmallestQuorumSize()))
+	return b.String()
+}

@@ -1,0 +1,261 @@
+// Package quorum implements the trust structures of the paper: symmetric and
+// asymmetric fail-prone systems, Byzantine quorum systems, kernels, the B3
+// existence condition, and guild computation (paper §2.2–2.3; Alpos et al.,
+// "Asymmetric distributed trust").
+//
+// Protocol code depends only on the narrow Assumption interface; explicit
+// systems (System) additionally support analysis: validation, guild and
+// kernel computation, and rendering.
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Assumption is the minimal interface protocols need from a trust structure.
+//
+// HasQuorumWithin(i, m) reports whether m contains a quorum for process i
+// (∃Q ∈ Q_i : Q ⊆ m) — the "received messages from one of its quorums"
+// trigger used throughout the paper's algorithms.
+//
+// HasKernelWithin(i, m) reports whether m contains a kernel for process i,
+// which holds exactly when m intersects every quorum of i. This is the
+// Bracha-style amplification trigger (paper Algorithm 3 line 55).
+type Assumption interface {
+	// N returns the number of processes in the system.
+	N() int
+	// HasQuorumWithin reports whether m contains a quorum for process i.
+	HasQuorumWithin(i types.ProcessID, m types.Set) bool
+	// HasKernelWithin reports whether m contains a kernel for process i.
+	HasKernelWithin(i types.ProcessID, m types.Set) bool
+}
+
+// System is an explicit asymmetric trust structure: a fail-prone collection
+// F_i and a quorum collection Q_i per process. Symmetric (including
+// threshold) systems are the special case where all processes share the
+// same collections.
+type System struct {
+	n         int
+	failProne [][]types.Set // failProne[i] = F_i
+	quorums   [][]types.Set // quorums[i] = Q_i
+}
+
+var _ Assumption = (*System)(nil)
+
+// New builds a System from per-process fail-prone and quorum collections.
+// Both slices must have length n and every member set must be over a
+// universe of n processes. New copies the top-level slices but shares the
+// (immutable by convention) member sets.
+func New(n int, failProne, quorums [][]types.Set) (*System, error) {
+	if len(failProne) != n || len(quorums) != n {
+		return nil, fmt.Errorf("quorum: need %d collections, got %d fail-prone and %d quorum", n, len(failProne), len(quorums))
+	}
+	fp := make([][]types.Set, n)
+	qs := make([][]types.Set, n)
+	for i := 0; i < n; i++ {
+		for _, f := range failProne[i] {
+			if f.UniverseSize() != n {
+				return nil, fmt.Errorf("quorum: fail-prone set for p%d has universe %d, want %d", i+1, f.UniverseSize(), n)
+			}
+		}
+		for _, q := range quorums[i] {
+			if q.UniverseSize() != n {
+				return nil, fmt.Errorf("quorum: quorum for p%d has universe %d, want %d", i+1, q.UniverseSize(), n)
+			}
+			if q.IsEmpty() {
+				return nil, fmt.Errorf("quorum: empty quorum for p%d", i+1)
+			}
+		}
+		if len(quorums[i]) == 0 {
+			return nil, fmt.Errorf("quorum: no quorums for p%d", i+1)
+		}
+		fp[i] = append([]types.Set(nil), failProne[i]...)
+		qs[i] = append([]types.Set(nil), quorums[i]...)
+	}
+	return &System{n: n, failProne: fp, quorums: qs}, nil
+}
+
+// MustNew is New but panics on error; for package-internal constructors and
+// tests with known-good inputs.
+func MustNew(n int, failProne, quorums [][]types.Set) *System {
+	s, err := New(n, failProne, quorums)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the number of processes.
+func (s *System) N() int { return s.n }
+
+// FailProneSets returns F_i. The returned slice must not be modified.
+func (s *System) FailProneSets(i types.ProcessID) []types.Set { return s.failProne[i] }
+
+// Quorums returns Q_i. The returned slice must not be modified.
+func (s *System) Quorums(i types.ProcessID) []types.Set { return s.quorums[i] }
+
+// HasQuorumWithin reports whether m contains some quorum of process i.
+func (s *System) HasQuorumWithin(i types.ProcessID, m types.Set) bool {
+	for _, q := range s.quorums[i] {
+		if q.IsSubsetOf(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasKernelWithin reports whether m contains a kernel for process i, i.e.
+// whether m intersects every quorum of i.
+func (s *System) HasKernelWithin(i types.ProcessID, m types.Set) bool {
+	for _, q := range s.quorums[i] {
+		if !q.Intersects(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tolerates reports whether F ∈ F_i*, i.e. process i correctly foresees the
+// failure of every process in f (f is contained in one of i's fail-prone
+// sets).
+func (s *System) Tolerates(i types.ProcessID, f types.Set) bool {
+	for _, fp := range s.failProne[i] {
+		if f.IsSubsetOf(fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// SmallestQuorumSize returns c(Q) = min over all processes and quorums of
+// |Q|, the constant in the paper's Lemma 4.4 commit-latency bound.
+func (s *System) SmallestQuorumSize() int {
+	best := s.n + 1
+	for i := range s.quorums {
+		for _, q := range s.quorums[i] {
+			if c := q.Count(); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// Wise returns the set of wise processes for an actual faulty set f: the
+// correct processes that foresee f (f ∈ F_i*). Faulty processes are never
+// wise.
+func (s *System) Wise(f types.Set) types.Set {
+	wise := types.NewSet(s.n)
+	for i := 0; i < s.n; i++ {
+		p := types.ProcessID(i)
+		if f.Contains(p) {
+			continue
+		}
+		if s.Tolerates(p, f) {
+			wise.Add(p)
+		}
+	}
+	return wise
+}
+
+// Naive returns the set of naive processes for faulty set f: correct but
+// not wise.
+func (s *System) Naive(f types.Set) types.Set {
+	return f.Complement().Subtract(s.Wise(f))
+}
+
+// MaximalGuild returns the maximal guild for faulty set f: the largest set
+// G of wise processes such that every member has a quorum fully inside G
+// (Definition 2.2). The maximal guild is unique (the union of two guilds is
+// a guild), so the greatest-fixpoint computation below is exact. The result
+// may be empty.
+func (s *System) MaximalGuild(f types.Set) types.Set {
+	g := s.Wise(f)
+	for {
+		removed := false
+		for _, p := range g.Members() {
+			if !s.HasQuorumWithin(p, g) {
+				g.Remove(p)
+				removed = true
+			}
+		}
+		if !removed {
+			return g
+		}
+	}
+}
+
+// Threshold is the classic symmetric threshold assumption with n processes
+// of which at most f may fail: quorums are all sets of at least n-f
+// processes and kernels are all sets of at least f+1 processes. It
+// implements Assumption without materializing the (combinatorially many)
+// explicit sets, so it scales to any n.
+type Threshold struct {
+	n, f int
+}
+
+var _ Assumption = Threshold{}
+
+// NewThreshold returns the threshold assumption for n processes tolerating
+// f faults. It panics unless n > 3f (the Q3/B3 feasibility condition).
+func NewThreshold(n, f int) Threshold {
+	if n <= 3*f {
+		panic(fmt.Sprintf("quorum: threshold system needs n > 3f, got n=%d f=%d", n, f))
+	}
+	return Threshold{n: n, f: f}
+}
+
+// N returns the number of processes.
+func (t Threshold) N() int { return t.n }
+
+// F returns the failure threshold.
+func (t Threshold) F() int { return t.f }
+
+// QuorumSize returns n-f, the threshold quorum cardinality.
+func (t Threshold) QuorumSize() int { return t.n - t.f }
+
+// KernelSize returns f+1, the threshold kernel cardinality.
+func (t Threshold) KernelSize() int { return t.f + 1 }
+
+// HasQuorumWithin reports |m| ≥ n-f.
+func (t Threshold) HasQuorumWithin(_ types.ProcessID, m types.Set) bool {
+	return m.Count() >= t.n-t.f
+}
+
+// HasKernelWithin reports |m| ≥ f+1.
+func (t Threshold) HasKernelWithin(_ types.ProcessID, m types.Set) bool {
+	return m.Count() >= t.f+1
+}
+
+// SmallestQuorumSize returns n-f, mirroring System.SmallestQuorumSize.
+func (t Threshold) SmallestQuorumSize() int { return t.n - t.f }
+
+// HasAnyQuorumWithin reports whether m contains a quorum for at least one
+// process — the "∃Q ∈ Q_j for some Q_j ∈ Q" test of the paper's commit
+// rule and vertex validation (Algorithm 6 lines 140 and 148). For the
+// threshold assumption every process's quorums coincide, so the first
+// process's check suffices.
+func HasAnyQuorumWithin(a Assumption, m types.Set) bool {
+	if _, ok := a.(Threshold); ok {
+		return a.HasQuorumWithin(0, m)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.HasQuorumWithin(types.ProcessID(i), m) {
+			return true
+		}
+	}
+	return false
+}
+
+// QuorumSizer is implemented by assumptions that know their smallest quorum
+// cardinality c(Q) (used by the Lemma 4.4 experiments).
+type QuorumSizer interface {
+	SmallestQuorumSize() int
+}
+
+var (
+	_ QuorumSizer = (*System)(nil)
+	_ QuorumSizer = Threshold{}
+)

@@ -1,0 +1,218 @@
+// Package register implements the asymmetric shared-memory emulation the
+// paper lists among the known asymmetric primitives (§1: "reliable
+// broadcasts, shared-memory emulations, and binary consensus"): a
+// single-writer multi-reader atomic register over asymmetric Byzantine
+// quorum systems, in the style of ABD generalized by Alpos et al.
+//
+//	Write(v):  the writer picks ts+1 and sends WRITE(ts,v) to all; the
+//	           operation completes on ACKs from one of the writer's
+//	           quorums.
+//	Read():    the reader queries all replicas; on replies from one of its
+//	           quorums it selects the highest-timestamped value, writes it
+//	           back, and returns it once the write-back gathers ACKs from
+//	           one of its quorums (the write-back is what upgrades regular
+//	           to atomic semantics).
+//
+// Correctness in the asymmetric model: a wise reader's quorum intersects
+// the writer's quorum in at least one correct process (quorum
+// consistency), so the read observes the latest complete write.
+//
+// Modeling note: in the real protocol the writer signs (ts, v) so that
+// Byzantine replicas cannot forge values, only withhold or replay old
+// ones. The simulator's authenticated channels cover the withholding
+// behaviours; forgery is excluded by assumption and therefore not
+// simulated (a forging replica would be defeated by the signature check,
+// which we do not re-implement).
+package register
+
+import (
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Messages.
+
+type writeMsg struct {
+	Op  uint64
+	Ts  int64
+	Val string
+}
+
+type writeAckMsg struct {
+	Op uint64
+}
+
+type readMsg struct {
+	Op uint64
+}
+
+type readReplyMsg struct {
+	Op  uint64
+	Ts  int64
+	Val string
+}
+
+type writeBackMsg struct {
+	Op  uint64
+	Ts  int64
+	Val string
+}
+
+type writeBackAckMsg struct {
+	Op uint64
+}
+
+// Register is one process's register endpoint: always a replica, and
+// additionally a writer (if it is the designated writer) or a reader.
+// Drive it from a sim.Node: call Handle for every incoming message and
+// Write/Read to start operations.
+type Register struct {
+	self   types.ProcessID
+	writer types.ProcessID
+	trust  quorum.Assumption
+	n      int
+
+	// Replica state.
+	ts  int64
+	val string
+
+	// Writer state.
+	wts   int64
+	opSeq uint64
+
+	writeAcks map[uint64]types.Set
+	writeDone map[uint64]func(env sim.Env)
+
+	readReplies map[uint64]map[types.ProcessID]readReplyMsg
+	wbAcks      map[uint64]types.Set
+	readVal     map[uint64]readReplyMsg
+	readDone    map[uint64]func(env sim.Env, val string, ts int64)
+	readPhase   map[uint64]int // 1 = query, 2 = write-back
+}
+
+// New creates a register endpoint. All processes must agree on the writer.
+func New(self, writer types.ProcessID, n int, trust quorum.Assumption) *Register {
+	return &Register{
+		self:        self,
+		writer:      writer,
+		trust:       trust,
+		n:           n,
+		writeAcks:   map[uint64]types.Set{},
+		writeDone:   map[uint64]func(sim.Env){},
+		readReplies: map[uint64]map[types.ProcessID]readReplyMsg{},
+		wbAcks:      map[uint64]types.Set{},
+		readVal:     map[uint64]readReplyMsg{},
+		readDone:    map[uint64]func(sim.Env, string, int64){},
+		readPhase:   map[uint64]int{},
+	}
+}
+
+// Write starts a write (only legal at the writer); done runs when the
+// write is complete.
+func (r *Register) Write(env sim.Env, val string, done func(env sim.Env)) {
+	if r.self != r.writer {
+		panic("register: Write called on a non-writer")
+	}
+	r.wts++
+	r.opSeq++
+	op := r.opSeq
+	r.writeAcks[op] = types.NewSet(r.n)
+	r.writeDone[op] = done
+	env.Broadcast(writeMsg{Op: op, Ts: r.wts, Val: val})
+}
+
+// Read starts a read; done runs with the value once the read is complete.
+func (r *Register) Read(env sim.Env, done func(env sim.Env, val string, ts int64)) {
+	r.opSeq++
+	op := r.opSeq
+	r.readReplies[op] = map[types.ProcessID]readReplyMsg{}
+	r.readDone[op] = done
+	r.readPhase[op] = 1
+	env.Broadcast(readMsg{Op: op})
+}
+
+// Handle processes one message; it returns false if the message does not
+// belong to the register.
+func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case writeMsg:
+		if from != r.writer {
+			return true // only the designated writer may write
+		}
+		if m.Ts > r.ts {
+			r.ts, r.val = m.Ts, m.Val
+		}
+		env.Send(from, writeAckMsg{Op: m.Op})
+	case writeAckMsg:
+		acks, ok := r.writeAcks[m.Op]
+		if !ok {
+			return true
+		}
+		acks.Add(from)
+		r.writeAcks[m.Op] = acks
+		if r.trust.HasQuorumWithin(r.self, acks) {
+			done := r.writeDone[m.Op]
+			delete(r.writeAcks, m.Op)
+			delete(r.writeDone, m.Op)
+			if done != nil {
+				done(env)
+			}
+		}
+	case readMsg:
+		env.Send(from, readReplyMsg{Op: m.Op, Ts: r.ts, Val: r.val})
+	case readReplyMsg:
+		replies, ok := r.readReplies[m.Op]
+		if !ok || r.readPhase[m.Op] != 1 {
+			return true
+		}
+		replies[from] = m
+		senders := types.NewSet(r.n)
+		for p := range replies {
+			senders.Add(p)
+		}
+		if r.trust.HasQuorumWithin(r.self, senders) {
+			// Select the highest-timestamped value and write it back.
+			best := readReplyMsg{Ts: -1}
+			for _, rep := range replies {
+				if rep.Ts > best.Ts {
+					best = rep
+				}
+			}
+			r.readVal[m.Op] = best
+			r.readPhase[m.Op] = 2
+			r.wbAcks[m.Op] = types.NewSet(r.n)
+			env.Broadcast(writeBackMsg{Op: m.Op, Ts: best.Ts, Val: best.Val})
+		}
+	case writeBackMsg:
+		if m.Ts > r.ts {
+			r.ts, r.val = m.Ts, m.Val
+		}
+		env.Send(from, writeBackAckMsg{Op: m.Op})
+	case writeBackAckMsg:
+		acks, ok := r.wbAcks[m.Op]
+		if !ok {
+			return true
+		}
+		acks.Add(from)
+		r.wbAcks[m.Op] = acks
+		if r.trust.HasQuorumWithin(r.self, acks) {
+			best := r.readVal[m.Op]
+			done := r.readDone[m.Op]
+			delete(r.wbAcks, m.Op)
+			delete(r.readReplies, m.Op)
+			delete(r.readVal, m.Op)
+			delete(r.readDone, m.Op)
+			delete(r.readPhase, m.Op)
+			if done != nil {
+				done(env, best.Val, best.Ts)
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// Timestamp returns the replica's current timestamp (for tests).
+func (r *Register) Timestamp() int64 { return r.ts }

@@ -1,0 +1,204 @@
+// Package rider holds the plumbing shared by the two DAG-Rider
+// implementations (the symmetric baseline in internal/baseline and the
+// paper's asymmetric protocol in internal/core): vertex wire payloads,
+// workload generation, delivery records, and the ordering routine that both
+// protocols share verbatim (Algorithm 6, orderVertices).
+package rider
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/broadcast"
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// VertexPayload wraps a DAG vertex for transport through a broadcast
+// primitive. Its Key is a deterministic digest of the full vertex content,
+// so reliable broadcast's equivocation detection covers vertex bodies.
+type VertexPayload struct {
+	V *dag.Vertex
+}
+
+var _ broadcast.Payload = VertexPayload{}
+
+// Key implements broadcast.Payload.
+func (p VertexPayload) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|", int(p.V.Source), p.V.Round)
+	for _, tx := range p.V.Block {
+		b.WriteString(tx)
+		b.WriteByte(0)
+	}
+	b.WriteByte('|')
+	for _, e := range p.V.StrongEdges {
+		fmt.Fprintf(&b, "s%d.%d,", int(e.Source), e.Round)
+	}
+	for _, e := range p.V.WeakEdges {
+		fmt.Fprintf(&b, "w%d.%d,", int(e.Source), e.Round)
+	}
+	return b.String()
+}
+
+// SimSize implements sim.Sizer: headers plus transactions plus edges.
+func (p VertexPayload) SimSize() int {
+	sz := 16
+	for _, tx := range p.V.Block {
+		sz += len(tx)
+	}
+	sz += 8 * (len(p.V.StrongEdges) + len(p.V.WeakEdges))
+	return sz
+}
+
+// Workload supplies the transactions a process packs into each vertex
+// (the paper's blocksToPropose queue fed by clients).
+type Workload interface {
+	// NextBlock returns the block for the vertex of the given round.
+	NextBlock(round int) []string
+}
+
+// SyntheticWorkload generates TxPerBlock labeled transactions per block —
+// the workload generator for throughput experiments.
+type SyntheticWorkload struct {
+	Self       types.ProcessID
+	TxPerBlock int
+}
+
+// NextBlock implements Workload.
+func (w SyntheticWorkload) NextBlock(round int) []string {
+	block := make([]string, w.TxPerBlock)
+	for i := range block {
+		block[i] = fmt.Sprintf("tx-p%d-r%d-%d", int(w.Self)+1, round, i)
+	}
+	return block
+}
+
+// QueueWorkload drains an explicit queue, at most BatchSize per block;
+// examples use it to submit real payloads. Empty blocks are produced when
+// the queue is dry so that the protocol keeps advancing rounds.
+type QueueWorkload struct {
+	BatchSize int
+	queue     []string
+}
+
+// Submit appends transactions to the queue.
+func (w *QueueWorkload) Submit(txs ...string) {
+	w.queue = append(w.queue, txs...)
+}
+
+// NextBlock implements Workload.
+func (w *QueueWorkload) NextBlock(int) []string {
+	n := w.BatchSize
+	if n <= 0 {
+		n = 16
+	}
+	if n > len(w.queue) {
+		n = len(w.queue)
+	}
+	block := w.queue[:n:n]
+	w.queue = w.queue[n:]
+	return block
+}
+
+// Delivery records one atomically delivered vertex.
+type Delivery struct {
+	Ref  dag.VertexRef
+	Txs  []string
+	Wave int             // wave whose commit triggered the delivery
+	Time sim.VirtualTime // virtual time of delivery
+}
+
+// CommitEvent records one successful wave commit at a process.
+type CommitEvent struct {
+	Wave   int
+	Leader dag.VertexRef
+	Time   sim.VirtualTime
+	Round  int // the process's round when it committed
+}
+
+// WaveRound returns the absolute round of slot k (1..4) of wave w (waves
+// count from 1): round(w,k) = 4(w-1)+k.
+func WaveRound(w, k int) int { return 4*(w-1) + k }
+
+// RoundWave returns the wave that round r belongs to (rounds 1..4 are wave
+// 1). Round 0 (genesis) maps to wave 0.
+func RoundWave(r int) int {
+	if r <= 0 {
+		return 0
+	}
+	return (r + 3) / 4
+}
+
+// Genesis returns the hardcoded round-0 vertices shared by every process
+// (Algorithm 4 line 67 hardcodes a quorum; we hardcode all n, which
+// contains a quorum for every process).
+func Genesis(n int) []*dag.Vertex {
+	out := make([]*dag.Vertex, n)
+	for i := range out {
+		out[i] = &dag.Vertex{Source: types.ProcessID(i), Round: 0}
+	}
+	return out
+}
+
+// SetWeakEdges fills v.WeakEdges with references to every vertex in rounds
+// round-2 .. 1 not already reachable from v (Algorithm 4, setWeakEdges).
+// The running reachable set includes the causal closure of edges added so
+// far, so no redundant weak edges are produced.
+func SetWeakEdges(d *dag.DAG, v *dag.Vertex, round int) {
+	reachable := map[dag.VertexRef]bool{}
+	var mark func(ref dag.VertexRef)
+	mark = func(ref dag.VertexRef) {
+		if reachable[ref] {
+			return
+		}
+		reachable[ref] = true
+		vv, ok := d.Get(ref)
+		if !ok {
+			return
+		}
+		for _, p := range vv.Parents() {
+			mark(p)
+		}
+	}
+	for _, e := range v.StrongEdges {
+		mark(e)
+	}
+	for r := round - 2; r >= 1; r-- {
+		for _, u := range d.RoundVertices(r) {
+			if !reachable[u.Ref()] {
+				v.WeakEdges = append(v.WeakEdges, u.Ref())
+				mark(u.Ref())
+			}
+		}
+	}
+}
+
+// OrderVertices implements Algorithm 6's orderVertices: pop leaders from
+// the stack (oldest last pushed first... the stack is pushed newest-wave
+// first, so popping yields oldest wave first), and for each leader deliver
+// its yet-undelivered causal history in the deterministic (round, source)
+// order. It returns the new deliveries in order.
+func OrderVertices(d *dag.DAG, leaders []dag.VertexRef, delivered map[dag.VertexRef]bool, wave int, now sim.VirtualTime) []Delivery {
+	var out []Delivery
+	// leaders is a stack: last element = oldest uncommitted leader.
+	for i := len(leaders) - 1; i >= 0; i-- {
+		history := d.CausalHistory(leaders[i])
+		sort.SliceStable(history, func(a, b int) bool {
+			if history[a].Round != history[b].Round {
+				return history[a].Round < history[b].Round
+			}
+			return history[a].Source < history[b].Source
+		})
+		for _, v := range history {
+			if delivered[v.Ref()] {
+				continue
+			}
+			delivered[v.Ref()] = true
+			out = append(out, Delivery{Ref: v.Ref(), Txs: v.Block, Wave: wave, Time: now})
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package rider
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestWaveRoundMapping(t *testing.T) {
+	cases := []struct{ w, k, r int }{
+		{1, 1, 1}, {1, 4, 4}, {2, 1, 5}, {2, 4, 8}, {3, 2, 10},
+	}
+	for _, c := range cases {
+		if got := WaveRound(c.w, c.k); got != c.r {
+			t.Errorf("WaveRound(%d,%d) = %d, want %d", c.w, c.k, got, c.r)
+		}
+	}
+	for r := 1; r <= 20; r++ {
+		w := RoundWave(r)
+		if WaveRound(w, 1) > r || WaveRound(w, 4) < r {
+			t.Errorf("RoundWave(%d) = %d inconsistent", r, w)
+		}
+	}
+	if RoundWave(0) != 0 || RoundWave(-3) != 0 {
+		t.Error("RoundWave of genesis rounds should be 0")
+	}
+}
+
+func TestGenesis(t *testing.T) {
+	g := Genesis(5)
+	if len(g) != 5 {
+		t.Fatalf("Genesis produced %d", len(g))
+	}
+	for i, v := range g {
+		if v.Round != 0 || int(v.Source) != i {
+			t.Errorf("genesis vertex %d malformed: %+v", i, v)
+		}
+	}
+}
+
+func TestVertexPayloadKey(t *testing.T) {
+	v1 := &dag.Vertex{Source: 1, Round: 2, Block: []string{"a", "b"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 1}}}
+	v2 := &dag.Vertex{Source: 1, Round: 2, Block: []string{"a", "b"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 1}}}
+	if (VertexPayload{V: v1}).Key() != (VertexPayload{V: v2}).Key() {
+		t.Error("identical vertices must share keys")
+	}
+	v3 := &dag.Vertex{Source: 1, Round: 2, Block: []string{"a", "x"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 1}}}
+	if (VertexPayload{V: v1}).Key() == (VertexPayload{V: v3}).Key() {
+		t.Error("different blocks must change the key")
+	}
+	v4 := &dag.Vertex{Source: 1, Round: 2, Block: []string{"a", "b"},
+		WeakEdges: []dag.VertexRef{{Source: 0, Round: 1}}}
+	if (VertexPayload{V: v1}).Key() == (VertexPayload{V: v4}).Key() {
+		t.Error("strong vs weak edges must change the key")
+	}
+	if (VertexPayload{V: v1}).SimSize() <= 0 {
+		t.Error("SimSize must be positive")
+	}
+}
+
+func TestSyntheticWorkload(t *testing.T) {
+	w := SyntheticWorkload{Self: 2, TxPerBlock: 3}
+	b := w.NextBlock(7)
+	if len(b) != 3 {
+		t.Fatalf("block size %d", len(b))
+	}
+	if b[0] != "tx-p3-r7-0" {
+		t.Errorf("tx label = %q", b[0])
+	}
+}
+
+func TestQueueWorkload(t *testing.T) {
+	w := &QueueWorkload{BatchSize: 2}
+	w.Submit("a", "b", "c")
+	if got := w.NextBlock(1); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("first block = %v", got)
+	}
+	if got := w.NextBlock(2); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("second block = %v", got)
+	}
+	if got := w.NextBlock(3); len(got) != 0 {
+		t.Fatalf("drained queue returned %v", got)
+	}
+	// Default batch size.
+	d := &QueueWorkload{}
+	d.Submit("x")
+	if got := d.NextBlock(1); len(got) != 1 {
+		t.Fatalf("default batch = %v", got)
+	}
+}
+
+func TestSetWeakEdges(t *testing.T) {
+	d := dag.New(3)
+	for _, g := range Genesis(3) {
+		if err := d.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 1: only p1 and p2 have vertices.
+	a1 := &dag.Vertex{Source: 0, Round: 1, StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}, {Source: 2, Round: 0}}}
+	b1 := &dag.Vertex{Source: 1, Round: 1, StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}, {Source: 2, Round: 0}}}
+	for _, v := range []*dag.Vertex{a1, b1} {
+		if err := d.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 2: a2 references only a1.
+	a2 := &dag.Vertex{Source: 0, Round: 2, StrongEdges: []dag.VertexRef{a1.Ref()}}
+	if err := d.Add(a2); err != nil {
+		t.Fatal(err)
+	}
+	// Late round-1 vertex from p3 appears.
+	c1 := &dag.Vertex{Source: 2, Round: 1, StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}, {Source: 2, Round: 0}}}
+	if err := d.Add(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Round 3 vertex referencing a2 strongly; weak edges must cover b1 and
+	// c1 (round 1, unreachable via strong path from a2) but not a1.
+	v3 := &dag.Vertex{Source: 0, Round: 3, StrongEdges: []dag.VertexRef{a2.Ref()}}
+	SetWeakEdges(d, v3, 3)
+	weak := map[dag.VertexRef]bool{}
+	for _, e := range v3.WeakEdges {
+		weak[e] = true
+	}
+	if !weak[b1.Ref()] || !weak[c1.Ref()] {
+		t.Errorf("weak edges %v should cover b1 and c1", v3.WeakEdges)
+	}
+	if weak[a1.Ref()] {
+		t.Error("a1 is strongly reachable; weak edge is redundant")
+	}
+}
+
+func TestOrderVerticesSkipsDelivered(t *testing.T) {
+	d := dag.New(2)
+	for _, g := range Genesis(2) {
+		if err := d.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1 := &dag.Vertex{Source: 0, Round: 1, Block: []string{"t1"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}}}
+	if err := d.Add(a1); err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[dag.VertexRef]bool{}
+	out1 := OrderVertices(d, []dag.VertexRef{a1.Ref()}, delivered, 1, 10)
+	if len(out1) != 3 { // two genesis + a1
+		t.Fatalf("first ordering delivered %d vertices", len(out1))
+	}
+	// Second leader above a1: only the new vertex should be delivered.
+	a2 := &dag.Vertex{Source: 0, Round: 2, Block: []string{"t2"}, StrongEdges: []dag.VertexRef{a1.Ref()}}
+	if err := d.Add(a2); err != nil {
+		t.Fatal(err)
+	}
+	out2 := OrderVertices(d, []dag.VertexRef{a2.Ref()}, delivered, 2, 20)
+	if len(out2) != 1 || out2[0].Ref != a2.Ref() {
+		t.Fatalf("second ordering = %+v", out2)
+	}
+	if out2[0].Wave != 2 || out2[0].Time != 20 {
+		t.Errorf("delivery metadata wrong: %+v", out2[0])
+	}
+}
+
+// TestOrderVerticesStackOrder: the stack is popped oldest-wave-first, so
+// earlier leaders' histories deliver before later leaders'.
+func TestOrderVerticesStackOrder(t *testing.T) {
+	d := dag.New(2)
+	for _, g := range Genesis(2) {
+		if err := d.Add(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a1 := &dag.Vertex{Source: 0, Round: 1, StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}}}
+	b1 := &dag.Vertex{Source: 1, Round: 1, StrongEdges: []dag.VertexRef{{Source: 0, Round: 0}, {Source: 1, Round: 0}}}
+	a2 := &dag.Vertex{Source: 0, Round: 2, StrongEdges: []dag.VertexRef{a1.Ref()}}
+	for _, v := range []*dag.Vertex{a1, b1, a2} {
+		if err := d.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delivered := map[dag.VertexRef]bool{}
+	// Stack pushed newest first: [a2, a1] → pops a1 (older) first.
+	out := OrderVertices(d, []dag.VertexRef{a2.Ref(), a1.Ref()}, delivered, 2, 0)
+	posA1, posA2 := -1, -1
+	for i, del := range out {
+		switch del.Ref {
+		case a1.Ref():
+			posA1 = i
+		case a2.Ref():
+			posA2 = i
+		}
+	}
+	if posA1 == -1 || posA2 == -1 || posA1 > posA2 {
+		t.Fatalf("a1 must deliver before a2: %v", out)
+	}
+	// b1 is not in any delivered leader's history.
+	for _, del := range out {
+		if del.Ref == b1.Ref() {
+			t.Error("b1 should not be delivered")
+		}
+	}
+}

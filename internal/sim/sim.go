@@ -1,0 +1,361 @@
+// Package sim provides a deterministic discrete-event simulator for
+// asynchronous message-passing protocols.
+//
+// The paper's model (§2.1) is a fully asynchronous network of n processes
+// connected by reliable authenticated point-to-point links, where an
+// adversary controls message scheduling. This simulator realizes exactly
+// that model: protocol nodes are deterministic state machines, the
+// scheduler is a priority queue over virtual time, message delays come from
+// a pluggable (possibly adversarial) latency model, and all randomness is
+// drawn from a single seeded source — so every execution is reproducible
+// from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// VirtualTime is simulated time in abstract units.
+type VirtualTime int64
+
+// Message is a protocol message. Packages define plain structs; the
+// simulator treats them opaquely. Implement Sizer to contribute to the
+// byte metrics.
+type Message any
+
+// Sizer lets a message report an approximate wire size in bytes for the
+// bandwidth metrics. Messages that do not implement it count as size 1.
+type Sizer interface {
+	SimSize() int
+}
+
+// Node is a deterministic protocol state machine. The simulator calls Init
+// once before any delivery and Receive once per delivered message. Nodes
+// must only interact with the world through the provided Env.
+type Node interface {
+	// Init runs before any message is delivered; nodes typically send
+	// their first protocol messages here.
+	Init(env Env)
+	// Receive handles one message delivered from another node (or from
+	// itself — self-sends are delivered through the network too).
+	Receive(env Env, from types.ProcessID, msg Message)
+}
+
+// Env is a node's handle on the simulated world, valid only for the
+// duration of the Init/Receive call it was passed to.
+type Env interface {
+	// Self returns the executing node's process ID.
+	Self() types.ProcessID
+	// N returns the number of processes.
+	N() int
+	// Now returns the current virtual time.
+	Now() VirtualTime
+	// Send enqueues msg for delivery to process `to` (self-sends allowed).
+	Send(to types.ProcessID, msg Message)
+	// Broadcast sends msg to every process including the sender, in
+	// process-ID order.
+	Broadcast(msg Message)
+	// Rand returns the run's seeded RNG. Nodes must not retain it beyond
+	// the current call.
+	Rand() *rand.Rand
+}
+
+// LatencyModel decides the network delay of each message.
+type LatencyModel interface {
+	// Delay returns the link delay for a message sent now from -> to.
+	// It must be >= 0.
+	Delay(from, to types.ProcessID, msg Message, now VirtualTime, rng *rand.Rand) VirtualTime
+}
+
+// ConstantLatency delays every message by the same amount.
+type ConstantLatency VirtualTime
+
+// Delay implements LatencyModel.
+func (c ConstantLatency) Delay(_, _ types.ProcessID, _ Message, _ VirtualTime, _ *rand.Rand) VirtualTime {
+	return VirtualTime(c)
+}
+
+// UniformLatency delays messages uniformly in [Min, Max].
+type UniformLatency struct {
+	Min, Max VirtualTime
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(_, _ types.ProcessID, _ Message, _ VirtualTime, rng *rand.Rand) VirtualTime {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + VirtualTime(rng.Int63n(int64(u.Max-u.Min+1)))
+}
+
+// LatencyFunc adapts a function to a LatencyModel.
+type LatencyFunc func(from, to types.ProcessID, msg Message, now VirtualTime, rng *rand.Rand) VirtualTime
+
+// Delay implements LatencyModel.
+func (f LatencyFunc) Delay(from, to types.ProcessID, msg Message, now VirtualTime, rng *rand.Rand) VirtualTime {
+	return f(from, to, msg, now, rng)
+}
+
+// FavoredLinksLatency is the adversarial schedule used by the paper's
+// Appendix A execution: messages along favored links (Favored[to] contains
+// from) arrive with delay Fast, everything else with delay Slow. Choosing
+// Favored[to] = to's canonical quorum makes every "received from one of my
+// quorums" trigger fire on exactly that quorum.
+type FavoredLinksLatency struct {
+	Favored []types.Set // indexed by receiver
+	Fast    VirtualTime
+	Slow    VirtualTime
+}
+
+// Delay implements LatencyModel.
+func (f FavoredLinksLatency) Delay(from, to types.ProcessID, _ Message, _ VirtualTime, _ *rand.Rand) VirtualTime {
+	if f.Favored[to].Contains(from) {
+		return f.Fast
+	}
+	return f.Slow
+}
+
+// DropFilter decides whether a message is delivered; return false to drop.
+// Dropping models faulty links or partitioned/fail-stop behaviour. Correct-
+// process links in the paper are reliable, so filters should only affect
+// faulty processes.
+type DropFilter func(from, to types.ProcessID, msg Message) bool
+
+// Config configures a Runner.
+type Config struct {
+	N       int
+	Latency LatencyModel // defaults to ConstantLatency(1)
+	Seed    int64
+	Filter  DropFilter // optional; nil delivers everything
+}
+
+// Metrics accumulates network statistics for an execution.
+type Metrics struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	BytesSent         int
+	ByType            map[string]int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{ByType: map[string]int{}}
+}
+
+type event struct {
+	at   VirtualTime
+	seq  uint64
+	to   types.ProcessID
+	from types.ProcessID
+	msg  Message
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Runner owns an execution: the nodes, the event queue, the clock, and the
+// metrics. It is strictly single-threaded; determinism follows from the
+// seeded RNG and the (time, sequence) total order on events.
+type Runner struct {
+	cfg     Config
+	nodes   []Node
+	queue   eventQueue
+	now     VirtualTime
+	seq     uint64
+	rng     *rand.Rand
+	metrics *Metrics
+	inited  bool
+}
+
+// NewRunner creates a Runner for the given nodes. len(nodes) must equal
+// cfg.N.
+func NewRunner(cfg Config, nodes []Node) *Runner {
+	if len(nodes) != cfg.N {
+		panic(fmt.Sprintf("sim: %d nodes for N=%d", len(nodes), cfg.N))
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(1)
+	}
+	return &Runner{
+		cfg:     cfg,
+		nodes:   nodes,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: newMetrics(),
+	}
+}
+
+// env is the per-call Env implementation.
+type env struct {
+	r    *Runner
+	self types.ProcessID
+}
+
+func (e env) Self() types.ProcessID { return e.self }
+func (e env) N() int                { return e.r.cfg.N }
+func (e env) Now() VirtualTime      { return e.r.now }
+func (e env) Rand() *rand.Rand      { return e.r.rng }
+
+func (e env) Send(to types.ProcessID, msg Message) {
+	e.r.send(e.self, to, msg)
+}
+
+func (e env) Broadcast(msg Message) {
+	for to := 0; to < e.r.cfg.N; to++ {
+		e.r.send(e.self, types.ProcessID(to), msg)
+	}
+}
+
+func (r *Runner) send(from, to types.ProcessID, msg Message) {
+	r.metrics.MessagesSent++
+	r.metrics.ByType[fmt.Sprintf("%T", msg)]++
+	if s, ok := msg.(Sizer); ok {
+		r.metrics.BytesSent += s.SimSize()
+	} else {
+		r.metrics.BytesSent++
+	}
+	if r.cfg.Filter != nil && !r.cfg.Filter(from, to, msg) {
+		r.metrics.MessagesDropped++
+		return
+	}
+	d := r.cfg.Latency.Delay(from, to, msg, r.now, r.rng)
+	if d < 0 {
+		d = 0
+	}
+	r.seq++
+	heap.Push(&r.queue, &event{at: r.now + d, seq: r.seq, to: to, from: from, msg: msg})
+}
+
+// init calls Init on every node (in ID order) exactly once.
+func (r *Runner) init() {
+	if r.inited {
+		return
+	}
+	r.inited = true
+	for i, n := range r.nodes {
+		n.Init(env{r: r, self: types.ProcessID(i)})
+	}
+}
+
+// Step delivers the next pending event. It returns false when the queue is
+// empty (quiescence).
+func (r *Runner) Step() bool {
+	r.init()
+	if r.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&r.queue).(*event)
+	r.now = e.at
+	r.metrics.MessagesDelivered++
+	r.nodes[e.to].Receive(env{r: r, self: e.to}, e.from, e.msg)
+	return true
+}
+
+// Run processes events until quiescence or until limit events have been
+// delivered (limit <= 0 means no limit). It returns the number of events
+// processed.
+func (r *Runner) Run(limit int) int {
+	processed := 0
+	for limit <= 0 || processed < limit {
+		if !r.Step() {
+			break
+		}
+		processed++
+	}
+	return processed
+}
+
+// RunUntil processes events until pred() is true, quiescence, or the event
+// limit; it reports whether pred became true.
+func (r *Runner) RunUntil(pred func() bool, limit int) bool {
+	r.init()
+	if pred() {
+		return true
+	}
+	processed := 0
+	for limit <= 0 || processed < limit {
+		if !r.Step() {
+			return pred()
+		}
+		processed++
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// Now returns the current virtual time.
+func (r *Runner) Now() VirtualTime { return r.now }
+
+// Pending returns the number of undelivered events.
+func (r *Runner) Pending() int { return r.queue.Len() }
+
+// Metrics returns the execution's accumulated metrics.
+func (r *Runner) Metrics() *Metrics { return r.metrics }
+
+// Node wrappers for fault injection. ------------------------------------
+
+// CrashNode wraps a Node and makes it fail-stop at a given virtual time:
+// once crashed it neither processes nor (therefore) sends anything.
+type CrashNode struct {
+	Inner   Node
+	CrashAt VirtualTime
+	crashed bool
+}
+
+var _ Node = (*CrashNode)(nil)
+
+// Init implements Node. A node configured to crash at time 0 never runs.
+func (c *CrashNode) Init(e Env) {
+	if c.CrashAt <= 0 {
+		c.crashed = true
+		return
+	}
+	c.Inner.Init(e)
+}
+
+// Receive implements Node.
+func (c *CrashNode) Receive(e Env, from types.ProcessID, msg Message) {
+	if c.crashed || e.Now() >= c.CrashAt {
+		c.crashed = true
+		return
+	}
+	c.Inner.Receive(e, from, msg)
+}
+
+// Crashed reports whether the node has fail-stopped.
+func (c *CrashNode) Crashed() bool { return c.crashed }
+
+// MuteNode is a Byzantine node that participates in nothing: it never
+// sends a message. It is the simplest adversary that still exercises the
+// "faulty processes inside fail-prone sets" paths.
+type MuteNode struct{}
+
+var _ Node = MuteNode{}
+
+// Init implements Node.
+func (MuteNode) Init(Env) {}
+
+// Receive implements Node.
+func (MuteNode) Receive(Env, types.ProcessID, Message) {}

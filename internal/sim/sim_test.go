@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// pingNode sends a ping to everyone on init and counts received pings.
+type pingNode struct {
+	got     int
+	fromSet types.Set
+	times   []VirtualTime
+	froms   []types.ProcessID
+}
+
+type ping struct{ payload int }
+
+func (p ping) SimSize() int { return 8 }
+
+func (n *pingNode) Init(e Env) {
+	n.fromSet = types.NewSet(e.N())
+	e.Broadcast(ping{payload: int(e.Self())})
+}
+
+func (n *pingNode) Receive(e Env, from types.ProcessID, msg Message) {
+	if _, ok := msg.(ping); !ok {
+		return
+	}
+	n.got++
+	n.fromSet.Add(from)
+	n.times = append(n.times, e.Now())
+	n.froms = append(n.froms, from)
+}
+
+func newPingCluster(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &pingNode{}
+	}
+	return nodes
+}
+
+func TestBroadcastDeliversToAllIncludingSelf(t *testing.T) {
+	nodes := newPingCluster(5)
+	r := NewRunner(Config{N: 5, Seed: 1}, nodes)
+	r.Run(0)
+	for i, n := range nodes {
+		pn := n.(*pingNode)
+		if pn.got != 5 {
+			t.Errorf("node %d got %d pings, want 5", i, pn.got)
+		}
+		if pn.fromSet.Count() != 5 {
+			t.Errorf("node %d heard from %v", i, pn.fromSet)
+		}
+	}
+	m := r.Metrics()
+	if m.MessagesSent != 25 || m.MessagesDelivered != 25 {
+		t.Errorf("metrics sent/delivered = %d/%d, want 25/25", m.MessagesSent, m.MessagesDelivered)
+	}
+	if m.BytesSent != 25*8 {
+		t.Errorf("BytesSent = %d, want 200", m.BytesSent)
+	}
+	if m.ByType["sim.ping"] != 25 {
+		t.Errorf("ByType = %v", m.ByType)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []VirtualTime {
+		nodes := newPingCluster(6)
+		r := NewRunner(Config{N: 6, Seed: seed, Latency: UniformLatency{Min: 1, Max: 50}}, nodes)
+		r.Run(0)
+		var all []VirtualTime
+		for _, n := range nodes {
+			all = append(all, n.(*pingNode).times...)
+		}
+		return all
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		diff := false
+		for i := range a {
+			if a[i] != c[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical uniform-latency traces (suspicious)")
+		}
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	nodes := newPingCluster(4)
+	// Drop everything sent by process 0 to others (keep self-delivery).
+	filter := func(from, to types.ProcessID, _ Message) bool {
+		return from != 0 || to == 0
+	}
+	r := NewRunner(Config{N: 4, Seed: 1, Filter: filter}, nodes)
+	r.Run(0)
+	for i := 1; i < 4; i++ {
+		pn := nodes[i].(*pingNode)
+		if pn.fromSet.Contains(0) {
+			t.Errorf("node %d heard from 0 despite drop filter", i)
+		}
+		if pn.got != 3 {
+			t.Errorf("node %d got %d, want 3", i, pn.got)
+		}
+	}
+	if r.Metrics().MessagesDropped != 3 {
+		t.Errorf("dropped = %d, want 3", r.Metrics().MessagesDropped)
+	}
+}
+
+func TestFavoredLinksLatencyOrdersDeliveries(t *testing.T) {
+	n := 6
+	fav := make([]types.Set, n)
+	for i := range fav {
+		// Everyone favors processes 0..2.
+		fav[i] = types.NewSetOf(n, 0, 1, 2)
+	}
+	nodes := newPingCluster(n)
+	r := NewRunner(Config{
+		N:       n,
+		Seed:    1,
+		Latency: FavoredLinksLatency{Favored: fav, Fast: 1, Slow: 1000},
+	}, nodes)
+	r.Run(0)
+	favored := types.NewSetOf(n, 0, 1, 2)
+	for i, nd := range nodes {
+		pn := nd.(*pingNode)
+		for k, at := range pn.times {
+			fromFavored := favored.Contains(pn.froms[k])
+			if at <= 10 && !fromFavored {
+				t.Errorf("node %d: early delivery from unfavored %v at %d", i, pn.froms[k], at)
+			}
+			if at > 10 && fromFavored {
+				t.Errorf("node %d: late delivery from favored %v at %d", i, pn.froms[k], at)
+			}
+		}
+	}
+}
+
+func TestRunUntilAndLimits(t *testing.T) {
+	nodes := newPingCluster(3)
+	r := NewRunner(Config{N: 3, Seed: 9}, nodes)
+	got := r.RunUntil(func() bool { return nodes[0].(*pingNode).got >= 2 }, 0)
+	if !got {
+		t.Fatal("RunUntil never satisfied")
+	}
+	// Limit respected.
+	nodes2 := newPingCluster(3)
+	r2 := NewRunner(Config{N: 3, Seed: 9}, nodes2)
+	if p := r2.Run(4); p != 4 {
+		t.Fatalf("Run(4) processed %d", p)
+	}
+	if r2.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", r2.Pending())
+	}
+}
+
+func TestCrashNode(t *testing.T) {
+	n := 4
+	nodes := make([]Node, n)
+	for i := 0; i < n-1; i++ {
+		nodes[i] = &pingNode{}
+	}
+	crashed := &CrashNode{Inner: &pingNode{}, CrashAt: 0}
+	nodes[n-1] = crashed
+	r := NewRunner(Config{N: n, Seed: 1}, nodes)
+	r.Run(0)
+	if !crashed.Crashed() {
+		t.Error("CrashAt=0 node should be crashed")
+	}
+	for i := 0; i < n-1; i++ {
+		pn := nodes[i].(*pingNode)
+		if pn.fromSet.Contains(types.ProcessID(n - 1)) {
+			t.Errorf("node %d heard from crashed node", i)
+		}
+		if pn.got != n-1 {
+			t.Errorf("node %d got %d, want %d", i, pn.got, n-1)
+		}
+	}
+}
+
+func TestMuteNode(t *testing.T) {
+	nodes := []Node{&pingNode{}, MuteNode{}, &pingNode{}}
+	r := NewRunner(Config{N: 3, Seed: 1}, nodes)
+	r.Run(0)
+	if nodes[0].(*pingNode).fromSet.Contains(1) {
+		t.Error("heard from mute node")
+	}
+}
+
+func TestTimeAdvancesMonotonically(t *testing.T) {
+	nodes := newPingCluster(5)
+	r := NewRunner(Config{N: 5, Seed: 3, Latency: UniformLatency{Min: 0, Max: 20}}, nodes)
+	last := VirtualTime(-1)
+	for r.Step() {
+		if r.Now() < last {
+			t.Fatalf("time went backwards: %d after %d", r.Now(), last)
+		}
+		last = r.Now()
+	}
+}

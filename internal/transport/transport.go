@@ -1,0 +1,414 @@
+// Package transport runs the same protocol state machines that the
+// simulator drives (sim.Node implementations) over real TCP connections —
+// the deployment path for the library, as opposed to the reproducible
+// research path of internal/sim.
+//
+// Topology: a full mesh. Every node listens on a TCP address and dials
+// every higher-numbered peer (lower-numbered peers dial it), yielding one
+// duplex connection per pair. Frames are gob-encoded envelopes; protocol
+// packages register their message types via their RegisterWire functions
+// (called by RegisterAllWire).
+//
+// Concurrency model: each node runs exactly one loop goroutine that
+// serializes Init/Receive calls, so the protocol state machines need no
+// locking — the same single-threaded discipline the simulator provides.
+// Per-connection reader goroutines feed the loop; per-peer writer
+// goroutines drain unbounded outboxes (unbounded by design: the protocols
+// assume reliable links and a bounded outbox could deadlock the mesh;
+// real deployments would add flow control above this layer).
+//
+// Close tears everything down and waits for every goroutine to exit.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/gather"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// RegisterAllWire registers every protocol message type with encoding/gob.
+// Call once before starting a cluster (NewLocalCluster does it for you).
+func RegisterAllWire() {
+	broadcast.RegisterWire()
+	gather.RegisterWire()
+	core.RegisterWire()
+}
+
+// envelope is the wire frame.
+type envelope struct {
+	From types.ProcessID
+	Msg  sim.Message
+}
+
+// Host runs one protocol node over TCP.
+type Host struct {
+	self  types.ProcessID
+	n     int
+	node  sim.Node
+	epoch time.Time
+
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[types.ProcessID]net.Conn
+	outbox  map[types.ProcessID]*queue
+	rng     *rand.Rand
+	started bool
+	closed  bool
+
+	inbox chan envelope
+	// selfQ holds self-sends. It must be unbounded and separate from
+	// inbox: the node loop itself produces these, and blocking on its own
+	// bounded inbox would deadlock the loop.
+	selfQ *queue
+	calls chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// queue is an unbounded FIFO with a wakeup channel.
+type queue struct {
+	mu    sync.Mutex
+	items []envelope
+	wake  chan struct{}
+}
+
+func newQueue() *queue {
+	return &queue{wake: make(chan struct{}, 1)}
+}
+
+func (q *queue) push(e envelope) {
+	q.mu.Lock()
+	q.items = append(q.items, e)
+	q.mu.Unlock()
+	q.signal()
+}
+
+// pushFront prepends e; used for the hello frame which must precede any
+// queued protocol traffic.
+func (q *queue) pushFront(e envelope) {
+	q.mu.Lock()
+	q.items = append([]envelope{e}, q.items...)
+	q.mu.Unlock()
+	q.signal()
+}
+
+func (q *queue) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (q *queue) drain() []envelope {
+	q.mu.Lock()
+	out := q.items
+	q.items = nil
+	q.mu.Unlock()
+	return out
+}
+
+// NewHost creates a host for `node` listening on addr (use "127.0.0.1:0"
+// for an ephemeral port). Call Addr to learn the bound address, Connect to
+// wire peers, then Start.
+func NewHost(self types.ProcessID, n int, node sim.Node, addr string, seed int64) (*Host, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	h := &Host{
+		self:     self,
+		n:        n,
+		node:     node,
+		epoch:    time.Now(),
+		listener: l,
+		conns:    map[types.ProcessID]net.Conn{},
+		outbox:   map[types.ProcessID]*queue{},
+		rng:      rand.New(rand.NewSource(seed)),
+		inbox:    make(chan envelope, 1024),
+		selfQ:    newQueue(),
+		calls:    make(chan func()),
+		done:     make(chan struct{}),
+	}
+	// Outboxes exist for every peer up front: messages sent before the
+	// connection is wired are queued and flushed once it attaches, so the
+	// "reliable links" assumption holds from the first Init broadcast.
+	for p := 0; p < n; p++ {
+		if types.ProcessID(p) != self {
+			h.outbox[types.ProcessID(p)] = newQueue()
+		}
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the listener's address.
+func (h *Host) Addr() string { return h.listener.Addr().String() }
+
+// acceptLoop accepts peer connections; the first frame on each connection
+// is a hello envelope identifying the peer.
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			dec := gob.NewDecoder(c)
+			var hello envelope
+			if err := dec.Decode(&hello); err != nil {
+				_ = c.Close()
+				return
+			}
+			h.registerConn(hello.From, c)
+			h.readLoop(hello.From, dec)
+		}()
+	}
+}
+
+// Connect dials a peer's listener and registers the connection. Only one
+// side of each pair should dial (by convention, the lower ID).
+func (h *Host) Connect(peer types.ProcessID, addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %v: %w", peer, err)
+	}
+	// The hello frame identifies us to the acceptor. It travels through
+	// the peer's outbox so that exactly one gob encoder ever writes to
+	// the connection (a second encoder would resend type definitions and
+	// corrupt the stream).
+	h.mu.Lock()
+	q := h.outbox[peer]
+	h.mu.Unlock()
+	if q == nil {
+		_ = c.Close()
+		return fmt.Errorf("transport: unknown peer %v", peer)
+	}
+	q.pushFront(envelope{From: h.self})
+	h.registerConn(peer, c)
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		h.readLoop(peer, gob.NewDecoder(c))
+	}()
+	return nil
+}
+
+// registerConn stores the connection and spawns the writer that drains the
+// peer's (pre-existing) outbox.
+func (h *Host) registerConn(peer types.ProcessID, c net.Conn) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = c.Close()
+		return
+	}
+	h.conns[peer] = c
+	q := h.outbox[peer]
+	h.mu.Unlock()
+	if q == nil {
+		_ = c.Close() // unknown peer ID
+		return
+	}
+
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		enc := gob.NewEncoder(c)
+		for {
+			// Drain first: messages may have been queued before the
+			// connection attached.
+			for _, e := range q.drain() {
+				if err := enc.Encode(e); err != nil {
+					return // connection gone
+				}
+			}
+			select {
+			case <-h.done:
+				return
+			case <-q.wake:
+			}
+		}
+	}()
+}
+
+// readLoop decodes envelopes into the inbox until the connection dies.
+func (h *Host) readLoop(peer types.ProcessID, dec *gob.Decoder) {
+	for {
+		var e envelope
+		if err := dec.Decode(&e); err != nil {
+			return
+		}
+		e.From = peer // trust the connection, not the frame
+		select {
+		case h.inbox <- e:
+		case <-h.done:
+			return
+		}
+	}
+}
+
+// Start launches the node loop: Init, then serialized Receive calls.
+// All peers must be connected first.
+func (h *Host) Start() {
+	h.mu.Lock()
+	if h.started || h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.started = true
+	h.mu.Unlock()
+
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		env := hostEnv{h: h}
+		h.node.Init(env)
+		for {
+			// Self-sends first; Receive may have produced more.
+			for _, e := range h.selfQ.drain() {
+				h.node.Receive(env, e.From, e.Msg)
+			}
+			select {
+			case <-h.done:
+				return
+			case e := <-h.inbox:
+				h.node.Receive(env, e.From, e.Msg)
+			case <-h.selfQ.wake:
+			case fn := <-h.calls:
+				fn()
+			}
+		}
+	}()
+}
+
+// Inspect runs fn on the node goroutine, giving tests race-free access to
+// node state. It blocks until fn completes (or the host is closed).
+func (h *Host) Inspect(fn func()) {
+	done := make(chan struct{})
+	select {
+	case h.calls <- func() { fn(); close(done) }:
+		<-done
+	case <-h.done:
+	}
+}
+
+// Close shuts the host down and waits for all goroutines.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	close(h.done)
+	_ = h.listener.Close()
+	for _, c := range h.conns {
+		_ = c.Close()
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+// hostEnv adapts the Host to sim.Env for the node.
+type hostEnv struct {
+	h *Host
+}
+
+var _ sim.Env = hostEnv{}
+
+func (e hostEnv) Self() types.ProcessID { return e.h.self }
+func (e hostEnv) N() int                { return e.h.n }
+
+// Now returns microseconds since the host started (wall clock; real
+// transports have no virtual time).
+func (e hostEnv) Now() sim.VirtualTime {
+	return sim.VirtualTime(time.Since(e.h.epoch).Microseconds())
+}
+
+func (e hostEnv) Rand() *rand.Rand { return e.h.rng }
+
+func (e hostEnv) Send(to types.ProcessID, msg sim.Message) {
+	if to == e.h.self {
+		// Local delivery via the unbounded self queue (see the field
+		// comment: pushing to the bounded inbox from the node loop could
+		// deadlock).
+		e.h.selfQ.push(envelope{From: e.h.self, Msg: msg})
+		return
+	}
+	e.h.mu.Lock()
+	q := e.h.outbox[to]
+	e.h.mu.Unlock()
+	if q == nil {
+		return // peer not connected (crashed or not yet wired)
+	}
+	q.push(envelope{From: e.h.self, Msg: msg})
+}
+
+func (e hostEnv) Broadcast(msg sim.Message) {
+	for to := 0; to < e.h.n; to++ {
+		e.Send(types.ProcessID(to), msg)
+	}
+}
+
+// LocalCluster is a convenience harness: n hosts on loopback, fully wired.
+type LocalCluster struct {
+	Hosts []*Host
+}
+
+// NewLocalCluster builds and wires (but does not start) a loopback mesh
+// for the given nodes.
+func NewLocalCluster(nodes []sim.Node, seed int64) (*LocalCluster, error) {
+	RegisterAllWire()
+	n := len(nodes)
+	hosts := make([]*Host, n)
+	for i, nd := range nodes {
+		h, err := NewHost(types.ProcessID(i), n, nd, "127.0.0.1:0", seed+int64(i))
+		if err != nil {
+			for _, prev := range hosts[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		hosts[i] = h
+	}
+	// Lower IDs dial higher IDs.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := hosts[i].Connect(types.ProcessID(j), hosts[j].Addr()); err != nil {
+				for _, h := range hosts {
+					h.Close()
+				}
+				return nil, err
+			}
+		}
+	}
+	return &LocalCluster{Hosts: hosts}, nil
+}
+
+// Start launches every host's node loop.
+func (c *LocalCluster) Start() {
+	for _, h := range c.Hosts {
+		h.Start()
+	}
+}
+
+// Close shuts every host down.
+func (c *LocalCluster) Close() {
+	for _, h := range c.Hosts {
+		h.Close()
+	}
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/gather"
+	"repro/internal/quorum"
+	"repro/internal/rider"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// waitFor polls cond (via Inspect, race-free) until it holds or the
+// deadline passes.
+func waitFor(t *testing.T, c *LocalCluster, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, h := range c.Hosts {
+			h.Inspect(func() {
+				if !cond() {
+					ok = false
+				}
+			})
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+func TestConsensusOverTCP(t *testing.T) {
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	cn := coin.NewPRF(7, n)
+	nodes := make([]sim.Node, n)
+	raw := make([]*core.Node, n)
+	for i := range nodes {
+		nd := core.NewNode(core.Config{
+			Trust:    trust,
+			Coin:     cn,
+			Workload: rider.SyntheticWorkload{Self: types.ProcessID(i), TxPerBlock: 2},
+			MaxRound: 16, // 4 waves
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	cluster, err := NewLocalCluster(nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	// Wait until every node finished its rounds and committed something.
+	ok := waitFor(t, cluster, 15*time.Second, func() bool { return true })
+	_ = ok
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for i, h := range cluster.Hosts {
+			var round, decided int
+			h.Inspect(func() {
+				round = raw[i].Round()
+				decided = raw[i].DecidedWave()
+			})
+			if round >= 16 && decided > 0 {
+				done++
+			}
+		}
+		if done == n {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Verify outcomes under Inspect.
+	var orders [][]string
+	for i, h := range cluster.Hosts {
+		var blocks []string
+		var decided int
+		h.Inspect(func() {
+			blocks = raw[i].DeliveredBlocks()
+			decided = raw[i].DecidedWave()
+		})
+		if decided == 0 {
+			t.Fatalf("node %d decided nothing over TCP", i)
+		}
+		if len(blocks) == 0 {
+			t.Fatalf("node %d delivered nothing over TCP", i)
+		}
+		orders = append(orders, blocks)
+	}
+	// Prefix compatibility (total order).
+	longest := 0
+	for i := range orders {
+		if len(orders[i]) > len(orders[longest]) {
+			longest = i
+		}
+	}
+	for i := range orders {
+		for k, tx := range orders[i] {
+			if orders[longest][k] != tx {
+				t.Fatalf("total order violated over TCP: node %d pos %d", i, k)
+			}
+		}
+	}
+}
+
+func TestGatherOverTCP(t *testing.T) {
+	n := 4
+	trust := quorum.NewThreshold(n, 1)
+	nodes := make([]sim.Node, n)
+	raw := make([]*gather.ConstantRoundNode, n)
+	for i := range nodes {
+		nd := gather.NewConstantRoundNode(gather.Config{
+			Trust: trust,
+			Input: gather.InputValue(types.ProcessID(i)),
+			Mode:  gather.UseReliable,
+		})
+		nodes[i] = nd
+		raw[i] = nd
+	}
+	cluster, err := NewLocalCluster(nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.Start()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := 0
+		for i, h := range cluster.Hosts {
+			var ok bool
+			h.Inspect(func() { _, ok = raw[i].Delivered() })
+			if ok {
+				done++
+			}
+		}
+		if done == n {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, h := range cluster.Hosts {
+		var out gather.Pairs
+		var ok bool
+		h.Inspect(func() { out, ok = raw[i].Delivered() })
+		if !ok {
+			t.Fatalf("node %d never ag-delivered over TCP", i)
+		}
+		for src, val := range out {
+			if want := gather.InputValue(src); val != want {
+				t.Fatalf("node %d: wrong value for %v: %q", i, src, val)
+			}
+		}
+	}
+}
+
+func TestHostCloseIdempotentAndClean(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	nodes := make([]sim.Node, 4)
+	for i := range nodes {
+		nodes[i] = gather.NewThreeRoundNode(gather.Config{
+			Trust: trust, Input: "x", Mode: gather.UseReliable,
+		})
+	}
+	cluster, err := NewLocalCluster(nodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	time.Sleep(50 * time.Millisecond)
+	cluster.Close()
+	cluster.Close() // idempotent
+	// Start after close is a no-op.
+	cluster.Hosts[0].Start()
+}
+
+func TestConnectBadAddress(t *testing.T) {
+	RegisterAllWire()
+	h, err := NewHost(0, 2, gather.NewThreeRoundNode(gather.Config{
+		Trust: quorum.NewThreshold(4, 1), Input: "x",
+	}), "127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Connect(1, "127.0.0.1:1"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
