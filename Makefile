@@ -1,0 +1,30 @@
+# Build/test/bench entry points. `make bench` records the run to
+# BENCH_<date>.json (go test -json stream) so the perf trajectory of the
+# repository is tracked in-tree over time.
+
+GO        ?= go
+DATE      := $(shell date +%Y-%m-%d)
+BENCH_OUT ?= BENCH_$(DATE).json
+
+.PHONY: all build test vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep with allocation stats; the human-readable summary
+# goes to stdout while the structured stream is preserved for tooling.
+bench:
+	$(GO) test -json -run='^$$' -bench=. -benchmem -count=1 . > $(BENCH_OUT)
+	@grep -o '"Output":".*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | grep '^Benchmark' || true
+	@echo "wrote $(BENCH_OUT)"
+
+clean:
+	rm -f BENCH_*.json

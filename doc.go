@@ -15,6 +15,12 @@
 //     (Algorithms 4–6), plus the symmetric DAG-Rider baseline, running
 //     over a deterministic discrete-event network simulator with
 //     adversarial scheduling and fault injection.
+//   - An incremental quorum-predicate engine (internal/quorum): explicit
+//     systems compile into flattened bitset arrays with inverted indexes,
+//     and every protocol tally holds an incremental tracker that answers
+//     the HasQuorumWithin / HasKernelWithin triggers in O(1) amortized per
+//     delivered message instead of re-scanning the quorum collection. See
+//     internal/quorum/engine.go for the design and complexity bounds.
 //
 // # Quickstart
 //

@@ -62,14 +62,21 @@ type Config struct {
 	MaxRounds int
 }
 
-// roundState holds the per-round BV/AUX bookkeeping.
+// roundState holds the per-round BV/AUX bookkeeping. All tallies are
+// incremental quorum trackers: each delivery updates residual counts and
+// the phase triggers read in O(1) instead of re-scanning Q_i.
 type roundState struct {
-	valRecv   [2]types.Set // who sent VAL(b)
+	valRecv   [2]*quorum.Tracker // who sent VAL(b)
 	relayed   [2]bool
 	binValues [2]bool
-	auxRecv   [2]types.Set // who sent AUX(b)
-	auxSent   bool
-	done      bool
+	auxRecv   [2]*quorum.Tracker // who sent AUX(b)
+	// auxInBin tracks the union of AUX senders whose value lies in
+	// binValues — the phase-3 mixed-value quorum test. AUX senders are fed
+	// in live once their value is in binValues, and bulk-merged when a
+	// value joins binValues later.
+	auxInBin *quorum.Tracker
+	auxSent  bool
+	done     bool
 }
 
 // Node is one process running the binary agreement.
@@ -89,7 +96,7 @@ type Node struct {
 	// experiments).
 	decidedRound int
 
-	decideRecv [2]types.Set
+	decideRecv [2]*quorum.Tracker
 	sentDecide bool
 	halted     bool
 }
@@ -110,10 +117,10 @@ func NewNode(cfg Config) *Node {
 func (n *Node) state(r int) *roundState {
 	st, ok := n.rounds[r]
 	if !ok {
-		st = &roundState{}
+		st = &roundState{auxInBin: quorum.NewTracker(n.cfg.Trust, n.self)}
 		for b := 0; b < 2; b++ {
-			st.valRecv[b] = types.NewSet(n.n)
-			st.auxRecv[b] = types.NewSet(n.n)
+			st.valRecv[b] = quorum.NewTracker(n.cfg.Trust, n.self)
+			st.auxRecv[b] = quorum.NewTracker(n.cfg.Trust, n.self)
 		}
 		n.rounds[r] = st
 	}
@@ -124,8 +131,8 @@ func (n *Node) state(r int) *roundState {
 func (n *Node) Init(env sim.Env) {
 	n.self = env.Self()
 	n.n = env.N()
-	n.decideRecv[0] = types.NewSet(n.n)
-	n.decideRecv[1] = types.NewSet(n.n)
+	n.decideRecv[0] = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.decideRecv[1] = quorum.NewTracker(n.cfg.Trust, n.self)
 	n.round = 1
 	n.startRound(env)
 }
@@ -151,11 +158,11 @@ func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
 			return
 		}
 		n.decideRecv[m.B].Add(from)
-		if !n.sentDecide && n.cfg.Trust.HasKernelWithin(n.self, n.decideRecv[m.B]) {
+		if !n.sentDecide && n.decideRecv[m.B].HasKernel() {
 			n.sentDecide = true
 			env.Broadcast(decideMsg{B: m.B})
 		}
-		if n.cfg.Trust.HasQuorumWithin(n.self, n.decideRecv[m.B]) {
+		if n.decideRecv[m.B].HasQuorum() {
 			if !n.decided {
 				n.decided = true
 				n.decision = m.B
@@ -171,13 +178,15 @@ func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
 		st := n.state(m.Round)
 		st.valRecv[m.B].Add(from)
 		// Kernel relay (totality of BV-broadcast).
-		if !st.relayed[m.B] && n.cfg.Trust.HasKernelWithin(n.self, st.valRecv[m.B]) {
+		if !st.relayed[m.B] && st.valRecv[m.B].HasKernel() {
 			st.relayed[m.B] = true
 			env.Broadcast(valMsg{Round: m.Round, B: m.B})
 		}
-		// Quorum acceptance.
-		if !st.binValues[m.B] && n.cfg.Trust.HasQuorumWithin(n.self, st.valRecv[m.B]) {
+		// Quorum acceptance. AUX senders for the newly accepted value now
+		// count toward the mixed-value phase-3 quorum.
+		if !st.binValues[m.B] && st.valRecv[m.B].HasQuorum() {
 			st.binValues[m.B] = true
+			st.auxInBin.AddSet(st.auxRecv[m.B].Set())
 		}
 	case auxMsg:
 		if m.B != 0 && m.B != 1 {
@@ -185,6 +194,9 @@ func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
 		}
 		st := n.state(m.Round)
 		st.auxRecv[m.B].Add(from)
+		if st.binValues[m.B] {
+			st.auxInBin.Add(from)
+		}
 	default:
 		return
 	}
@@ -243,27 +255,21 @@ func (n *Node) progress(env sim.Env) {
 }
 
 // auxQuorumValues looks for a quorum of AUX senders whose values all lie
-// in binValues; it returns the distinct values of one such quorum.
+// in binValues; it returns the distinct values of one such quorum. All
+// tests are O(1) reads of the round's trackers.
 func (n *Node) auxQuorumValues(st *roundState) ([]int, bool) {
-	// Candidate sender sets, restricted to values within binValues.
-	both := types.NewSet(n.n)
-	var vals []int
-	for b := 0; b < 2; b++ {
-		if st.binValues[b] {
-			both.UnionInPlace(st.auxRecv[b])
-		}
-	}
 	// Prefer single-value quorums (more decisive outcome).
 	for b := 0; b < 2; b++ {
-		if st.binValues[b] && n.cfg.Trust.HasQuorumWithin(n.self, st.auxRecv[b]) {
+		if st.binValues[b] && st.auxRecv[b].HasQuorum() {
 			return []int{b}, true
 		}
 	}
-	if n.cfg.Trust.HasQuorumWithin(n.self, both) {
-		if st.binValues[0] && !st.auxRecv[0].IsEmpty() {
+	if st.auxInBin.HasQuorum() {
+		var vals []int
+		if st.binValues[0] && st.auxRecv[0].Count() > 0 {
 			vals = append(vals, 0)
 		}
-		if st.binValues[1] && !st.auxRecv[1].IsEmpty() {
+		if st.binValues[1] && st.auxRecv[1].Count() > 0 {
 			vals = append(vals, 1)
 		}
 		if len(vals) > 0 {

@@ -128,7 +128,7 @@ func (n *Node) afterGather(env sim.Env) {
 		}
 		n.started[j] = true
 		input := 0
-		if _, in := u[types.ProcessID(j)]; in {
+		if u.Contains(types.ProcessID(j)) {
 			input = 1
 		}
 		n.aba[j] = abba.NewNode(abba.Config{
@@ -172,7 +172,7 @@ func (n *Node) tryFinish() {
 		return
 	}
 	known := n.g.KnownInputs()
-	out := gather.NewPairs()
+	out := gather.NewPairs(n.n)
 	for j := 0; j < n.n; j++ {
 		if n.aba[j] == nil {
 			return
@@ -182,7 +182,7 @@ func (n *Node) tryFinish() {
 			return
 		}
 		if d == 1 {
-			v, have := known[types.ProcessID(j)]
+			v, have := known.Get(types.ProcessID(j))
 			if !have {
 				return // value not yet arb-delivered; totality will bring it
 			}
@@ -196,7 +196,7 @@ func (n *Node) tryFinish() {
 // Output returns the agreed core set, if the protocol finished.
 func (n *Node) Output() (Pairs, bool) {
 	if !n.done {
-		return nil, false
+		return Pairs{}, false
 	}
 	return n.output, true
 }

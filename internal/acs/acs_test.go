@@ -16,7 +16,7 @@ func assertIdenticalOutputs(t *testing.T, outputs map[types.ProcessID]Pairs, exp
 	}
 	var ref Pairs
 	for _, o := range outputs {
-		if ref == nil {
+		if ref.IsZero() {
 			ref = o
 			continue
 		}
@@ -37,7 +37,7 @@ func TestACSThresholdAllCorrect(t *testing.T) {
 			t.Fatalf("seed %d: core set %v smaller than a quorum", seed, ref)
 		}
 		// Values are genuine.
-		for p, v := range ref {
+		for p, v := range ref.Map() {
 			if v != gather.InputValue(p) {
 				t.Fatalf("seed %d: wrong value for %v: %q", seed, p, v)
 			}
@@ -58,7 +58,7 @@ func TestACSIdenticalVsGatherDiffering(t *testing.T) {
 	differ := false
 	var prev gather.Pairs
 	for _, out := range gres.Outputs {
-		if prev != nil && (!prev.ContainsAll(out) || !out.ContainsAll(prev)) {
+		if !prev.IsZero() && (!prev.ContainsAll(out) || !out.ContainsAll(prev)) {
 			differ = true
 		}
 		prev = out

@@ -115,8 +115,8 @@ type rbSlot struct {
 	sentEcho  bool
 	sentReady bool
 	delivered bool
-	echoes    map[string]types.Set // payload key -> echoers
-	readies   map[string]types.Set // payload key -> ready senders
+	echoes    map[string]*quorum.Tracker // payload key -> echoer tracker
+	readies   map[string]*quorum.Tracker // payload key -> ready-sender tracker
 	payloads  map[string]Payload
 }
 
@@ -148,8 +148,8 @@ func (r *Reliable) slot(s Slot) *rbSlot {
 	st, ok := r.slots[s]
 	if !ok {
 		st = &rbSlot{
-			echoes:   map[string]types.Set{},
-			readies:  map[string]types.Set{},
+			echoes:   map[string]*quorum.Tracker{},
+			readies:  map[string]*quorum.Tracker{},
 			payloads: map[string]Payload{},
 		}
 		r.slots[s] = st
@@ -157,14 +157,16 @@ func (r *Reliable) slot(s Slot) *rbSlot {
 	return st
 }
 
-func (r *Reliable) record(m map[string]types.Set, n int, key string, from types.ProcessID) types.Set {
-	s, ok := m[key]
+// record feeds one sender into the per-payload incremental tracker,
+// creating it on first use.
+func (r *Reliable) record(m map[string]*quorum.Tracker, key string, from types.ProcessID) *quorum.Tracker {
+	t, ok := m[key]
 	if !ok {
-		s = types.NewSet(n)
+		t = quorum.NewTracker(r.trust, r.self)
+		m[key] = t
 	}
-	s.Add(from)
-	m[key] = s
-	return s
+	t.Add(from)
+	return t
 }
 
 // Handle implements Broadcaster.
@@ -186,8 +188,8 @@ func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 		st := r.slot(m.Slot)
 		key := m.Payload.Key()
 		st.payloads[key] = m.Payload
-		echoers := r.record(st.echoes, env.N(), key, from)
-		if !st.sentReady && r.trust.HasQuorumWithin(r.self, echoers) {
+		echoers := r.record(st.echoes, key, from)
+		if !st.sentReady && echoers.HasQuorum() {
 			st.sentReady = true
 			env.Broadcast(readyMsg{Slot: m.Slot, Payload: m.Payload})
 		}
@@ -195,12 +197,12 @@ func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 		st := r.slot(m.Slot)
 		key := m.Payload.Key()
 		st.payloads[key] = m.Payload
-		readiers := r.record(st.readies, env.N(), key, from)
-		if !st.sentReady && r.trust.HasKernelWithin(r.self, readiers) {
+		readiers := r.record(st.readies, key, from)
+		if !st.sentReady && readiers.HasKernel() {
 			st.sentReady = true
 			env.Broadcast(readyMsg{Slot: m.Slot, Payload: m.Payload})
 		}
-		if !st.delivered && r.trust.HasQuorumWithin(r.self, readiers) {
+		if !st.delivered && readiers.HasQuorum() {
 			st.delivered = true
 			r.deliver(env, m.Slot, m.Payload)
 		}
@@ -222,7 +224,7 @@ type Consistent struct {
 type cbSlot struct {
 	sentEcho  bool
 	delivered bool
-	echoes    map[string]types.Set
+	echoes    map[string]*quorum.Tracker
 }
 
 var _ Broadcaster = (*Consistent)(nil)
@@ -253,13 +255,13 @@ func (c *Consistent) Handle(env sim.Env, from types.ProcessID, msg sim.Message) 
 	case echoMsg:
 		st := c.slot(m.Slot)
 		key := m.Payload.Key()
-		s, ok := st.echoes[key]
+		t, ok := st.echoes[key]
 		if !ok {
-			s = types.NewSet(env.N())
+			t = quorum.NewTracker(c.trust, c.self)
+			st.echoes[key] = t
 		}
-		s.Add(from)
-		st.echoes[key] = s
-		if !st.delivered && c.trust.HasQuorumWithin(c.self, s) {
+		t.Add(from)
+		if !st.delivered && t.HasQuorum() {
 			st.delivered = true
 			c.deliver(env, m.Slot, m.Payload)
 		}
@@ -274,7 +276,7 @@ func (c *Consistent) Handle(env sim.Env, from types.ProcessID, msg sim.Message) 
 func (c *Consistent) slot(s Slot) *cbSlot {
 	st, ok := c.slots[s]
 	if !ok {
-		st = &cbSlot{echoes: map[string]types.Set{}}
+		st = &cbSlot{echoes: map[string]*quorum.Tracker{}}
 		c.slots[s] = st
 	}
 	return st

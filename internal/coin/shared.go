@@ -30,7 +30,7 @@ type Shared struct {
 	self     types.ProcessID
 	trust    quorum.Assumption
 	src      Source
-	shares   map[int]types.Set
+	shares   map[int]*quorum.Tracker
 	released map[int]bool
 	ready    map[int]bool
 }
@@ -41,7 +41,7 @@ func NewShared(self types.ProcessID, trust quorum.Assumption, src Source) *Share
 		self:     self,
 		trust:    trust,
 		src:      src,
-		shares:   map[int]types.Set{},
+		shares:   map[int]*quorum.Tracker{},
 		released: map[int]bool{},
 		ready:    map[int]bool{},
 	}
@@ -64,13 +64,13 @@ func (s *Shared) Handle(env sim.Env, from types.ProcessID, msg sim.Message) (bec
 	if !ok {
 		return false, false
 	}
-	set, ok := s.shares[m.Wave]
+	t, ok := s.shares[m.Wave]
 	if !ok {
-		set = types.NewSet(env.N())
+		t = quorum.NewTracker(s.trust, s.self)
+		s.shares[m.Wave] = t
 	}
-	set.Add(from)
-	s.shares[m.Wave] = set
-	if !s.ready[m.Wave] && s.trust.HasQuorumWithin(s.self, set) {
+	t.Add(from)
+	if !s.ready[m.Wave] && t.HasQuorum() {
 		s.ready[m.Wave] = true
 		return true, true
 	}

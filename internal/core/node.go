@@ -87,11 +87,13 @@ type Config struct {
 	GCDepth int
 }
 
-// waveCtl is the per-wave gather control state.
+// waveCtl is the per-wave gather control state. The tallies are
+// incremental quorum trackers: each control message updates residual
+// counts and the ACK/READY/CONFIRM triggers read in O(1).
 type waveCtl struct {
-	acks     types.Set
-	readies  types.Set
-	confirms types.Set
+	acks     *quorum.Tracker
+	readies  *quorum.Tracker
+	confirms *quorum.Tracker
 
 	sentReady   bool
 	sentConfirm bool
@@ -110,6 +112,11 @@ type Node struct {
 	r      int
 	buffer []*dag.Vertex
 	waves  map[int]*waveCtl
+
+	// roundSrc tracks, per round, the quorum predicate over the sources
+	// with a vertex in the local DAG — fed on insertion so the round
+	// advance rule is an O(1) read instead of a RoundSources rescan.
+	roundSrc map[int]*quorum.Tracker
 
 	decidedWave int
 	delivered   map[dag.VertexRef]bool
@@ -134,6 +141,7 @@ func NewNode(cfg Config) *Node {
 	return &Node{
 		cfg:         cfg,
 		waves:       map[int]*waveCtl{},
+		roundSrc:    map[int]*quorum.Tracker{},
 		delivered:   map[dag.VertexRef]bool{},
 		acked:       map[dag.VertexRef]bool{},
 		pendingCoin: map[int]bool{},
@@ -149,6 +157,7 @@ func (n *Node) Init(env sim.Env) {
 		if err := n.dag.Add(g); err != nil {
 			panic("core: genesis insertion failed: " + err.Error())
 		}
+		n.roundTracker(g.Round).Add(g.Source)
 	}
 	n.arb = broadcast.NewReliable(n.self, n.cfg.Trust, n.onVertex)
 	if n.cfg.RevealedCoin {
@@ -161,13 +170,24 @@ func (n *Node) wave(w int) *waveCtl {
 	c, ok := n.waves[w]
 	if !ok {
 		c = &waveCtl{
-			acks:     types.NewSet(n.n),
-			readies:  types.NewSet(n.n),
-			confirms: types.NewSet(n.n),
+			acks:     quorum.NewTracker(n.cfg.Trust, n.self),
+			readies:  quorum.NewTracker(n.cfg.Trust, n.self),
+			confirms: quorum.NewTracker(n.cfg.Trust, n.self),
 		}
 		n.waves[w] = c
 	}
 	return c
+}
+
+// roundTracker returns the round's source tracker, creating it on first
+// use.
+func (n *Node) roundTracker(r int) *quorum.Tracker {
+	t, ok := n.roundSrc[r]
+	if !ok {
+		t = quorum.NewTracker(n.cfg.Trust, n.self)
+		n.roundSrc[r] = t
+	}
+	return t
 }
 
 // Receive implements sim.Node.
@@ -176,25 +196,25 @@ func (n *Node) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
 	case ackMsg:
 		c := n.wave(m.Wave)
 		c.acks.Add(from)
-		if !c.sentReady && n.cfg.Trust.HasQuorumWithin(n.self, c.acks) {
+		if !c.sentReady && c.acks.HasQuorum() {
 			c.sentReady = true
 			env.Broadcast(readyMsg{Wave: m.Wave})
 		}
 	case readyMsg:
 		c := n.wave(m.Wave)
 		c.readies.Add(from)
-		if !c.sentConfirm && n.cfg.Trust.HasQuorumWithin(n.self, c.readies) {
+		if !c.sentConfirm && c.readies.HasQuorum() {
 			c.sentConfirm = true
 			env.Broadcast(confirmMsg{Wave: m.Wave})
 		}
 	case confirmMsg:
 		c := n.wave(m.Wave)
 		c.confirms.Add(from)
-		if !c.sentConfirm && n.cfg.Trust.HasKernelWithin(n.self, c.confirms) {
+		if !c.sentConfirm && c.confirms.HasKernel() {
 			c.sentConfirm = true
 			env.Broadcast(confirmMsg{Wave: m.Wave})
 		}
-		if !c.tReady && n.cfg.Trust.HasQuorumWithin(n.self, c.confirms) {
+		if !c.tReady && c.confirms.HasQuorum() {
 			c.tReady = true
 		}
 	case coin.ShareMsg:
@@ -274,6 +294,7 @@ func (n *Node) processBuffer(env sim.Env) bool {
 				if err := n.dag.Add(v); err == nil {
 					progress = true
 					added = true
+					n.roundTracker(v.Round).Add(v.Source)
 					if !n.cfg.AckOnDeliver {
 						n.maybeAck(env, v)
 					}
@@ -305,7 +326,7 @@ func (n *Node) maybeAck(env sim.Env, v *dag.Vertex) {
 func (n *Node) step(env sim.Env) {
 	for {
 		n.processBuffer(env)
-		if !n.cfg.Trust.HasQuorumWithin(n.self, n.dag.RoundSources(n.r)) {
+		if !n.roundTracker(n.r).HasQuorum() {
 			return
 		}
 		// Round 2→3 gate: the wave's CONFIRM quorum must have been seen.
@@ -406,6 +427,11 @@ func (n *Node) collectGarbage(decided int) {
 	for ref := range n.acked {
 		if ref.Round < watermark {
 			delete(n.acked, ref)
+		}
+	}
+	for r := range n.roundSrc {
+		if r < watermark {
+			delete(n.roundSrc, r)
 		}
 	}
 	keep := n.buffer[:0]

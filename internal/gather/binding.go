@@ -1,6 +1,7 @@
 package gather
 
 import (
+	"repro/internal/quorum"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -29,8 +30,8 @@ type BindingNode struct {
 	inner *ConstantRoundNode
 
 	v        Pairs // union of accepted U sets
-	uFrom    types.Set
-	pendingU map[types.ProcessID]Pairs
+	uFrom    *quorum.Tracker
+	pendingU *pendingPairs
 
 	sentU     bool
 	delivered bool
@@ -41,16 +42,25 @@ var _ sim.Node = (*BindingNode)(nil)
 
 // NewBindingNode creates a binding gather node.
 func NewBindingNode(cfg Config) *BindingNode {
-	return &BindingNode{
+	n := &BindingNode{
 		inner:    NewConstantRoundNode(cfg),
-		v:        NewPairs(),
-		pendingU: map[types.ProcessID]Pairs{},
+		v:        NewPairs(cfg.Trust.N()),
+		pendingU: newPendingPairs(),
 	}
+	// Buffered U sets become acceptable only when the inner S set grows;
+	// hook the arb-delivery so exactly the waiting entries re-check.
+	n.inner.inputHook = func(env sim.Env, src types.ProcessID, value string) {
+		for _, e := range n.pendingU.deliver(src, value) {
+			n.acceptU(e.from, e.pairs)
+		}
+		n.afterInner(env)
+	}
+	return n
 }
 
 // Init implements sim.Node.
 func (n *BindingNode) Init(env sim.Env) {
-	n.uFrom = types.NewSet(env.N())
+	n.uFrom = quorum.NewTracker(n.inner.cfg.Trust, env.Self())
 	n.inner.Init(env)
 	n.afterInner(env)
 }
@@ -58,25 +68,16 @@ func (n *BindingNode) Init(env sim.Env) {
 // Receive implements sim.Node.
 func (n *BindingNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
 	if m, ok := msg.(distUMsg); ok {
-		if m.From != from {
+		if m.From != from || !m.U.wireValid(env.N()) {
 			return
 		}
-		if n.inner.s.ContainsAll(m.U) {
+		if n.pendingU.add(n.inner.s, from, m.U) {
 			n.acceptU(from, m.U)
-		} else {
-			n.pendingU[from] = m.U
 		}
 		return
 	}
 	n.inner.Receive(env, from, msg)
 	n.afterInner(env)
-	// Arb deliveries may have unblocked pending U sets.
-	for p, u := range n.pendingU {
-		if n.inner.s.ContainsAll(u) {
-			delete(n.pendingU, p)
-			n.acceptU(p, u)
-		}
-	}
 }
 
 // afterInner fires the extra round once Algorithm 3 would have delivered.
@@ -95,7 +96,7 @@ func (n *BindingNode) afterInner(env sim.Env) {
 func (n *BindingNode) acceptU(from types.ProcessID, u Pairs) {
 	n.v.Merge(u)
 	n.uFrom.Add(from)
-	if !n.delivered && n.inner.cfg.Trust.HasQuorumWithin(n.inner.self, n.uFrom) {
+	if !n.delivered && n.uFrom.HasQuorum() {
 		n.delivered = true
 		n.output = n.v.Clone()
 	}
@@ -104,7 +105,7 @@ func (n *BindingNode) acceptU(from types.ProcessID, u Pairs) {
 // Delivered returns the bound output set, if any.
 func (n *BindingNode) Delivered() (Pairs, bool) {
 	if !n.delivered {
-		return nil, false
+		return Pairs{}, false
 	}
 	return n.output, true
 }

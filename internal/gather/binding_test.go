@@ -25,7 +25,7 @@ func runBinding(trust quorum.Assumption, mode Dissemination, lat sim.LatencyMode
 		if out, ok := nd.Delivered(); ok {
 			outputs[types.ProcessID(i)] = out
 		}
-		if s := nd.SentS(); s != nil {
+		if s := nd.SentS(); !s.IsZero() {
 			snaps[types.ProcessID(i)] = s
 		}
 	}
@@ -115,7 +115,7 @@ func TestBindingGatherValidity(t *testing.T) {
 		t.Fatalf("%d delivered", len(outputs))
 	}
 	for p, out := range outputs {
-		for src, val := range out {
+		for src, val := range out.Map() {
 			if val != InputValue(src) {
 				t.Fatalf("%v delivered wrong value for %v: %q", p, src, val)
 			}

@@ -2,6 +2,7 @@ package gather
 
 import (
 	"repro/internal/broadcast"
+	"repro/internal/quorum"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -36,6 +37,11 @@ type confirmMsg struct{}
 // T set, some maximal-guild process has placed its S set in the T set of a
 // full quorum — which quorum consistency then spreads into everyone's U
 // set (Lemmas 3.3–3.7).
+//
+// All quorum tallies are incremental quorum.Tracker values and buffered
+// DISTRIBUTE sets re-check only against the arb-delivery that may unblock
+// them (pendingPairs), so each message is processed in amortized O(words)
+// instead of re-scanning quorums and pending buffers.
 type ConstantRoundNode struct {
 	cfg  Config
 	self types.ProcessID
@@ -43,17 +49,17 @@ type ConstantRoundNode struct {
 	bc broadcast.Broadcaster
 
 	s        Pairs
-	sSenders types.Set
+	sSenders *quorum.Tracker
 	t        Pairs
 	u        Pairs
 
-	acks     types.Set
-	readies  types.Set
-	confirms types.Set
-	tFrom    types.Set
+	acks     *quorum.Tracker
+	readies  *quorum.Tracker
+	confirms *quorum.Tracker
+	tFrom    *quorum.Tracker
 
-	pendingS map[types.ProcessID]Pairs
-	pendingT map[types.ProcessID]Pairs
+	pendingS *pendingPairs
+	pendingT *pendingPairs
 
 	sentS       bool
 	sentReady   bool
@@ -63,6 +69,10 @@ type ConstantRoundNode struct {
 
 	sSnapshot Pairs
 	output    Pairs
+
+	// inputHook, when set, observes every accepted arb-delivery (used by
+	// BindingNode to unblock its own buffered U sets).
+	inputHook func(env sim.Env, src types.ProcessID, value string)
 }
 
 var _ sim.Node = (*ConstantRoundNode)(nil)
@@ -70,25 +80,25 @@ var _ sim.Node = (*ConstantRoundNode)(nil)
 // NewConstantRoundNode creates an Algorithm 3 node; the protocol starts at
 // Init.
 func NewConstantRoundNode(cfg Config) *ConstantRoundNode {
+	n := cfg.Trust.N()
 	return &ConstantRoundNode{
 		cfg:      cfg,
-		s:        NewPairs(),
-		t:        NewPairs(),
-		u:        NewPairs(),
-		pendingS: map[types.ProcessID]Pairs{},
-		pendingT: map[types.ProcessID]Pairs{},
+		s:        NewPairs(n),
+		t:        NewPairs(n),
+		u:        NewPairs(n),
+		pendingS: newPendingPairs(),
+		pendingT: newPendingPairs(),
 	}
 }
 
 // Init implements sim.Node: ag-propose(input).
 func (n *ConstantRoundNode) Init(env sim.Env) {
 	n.self = env.Self()
-	nn := env.N()
-	n.sSenders = types.NewSet(nn)
-	n.acks = types.NewSet(nn)
-	n.readies = types.NewSet(nn)
-	n.confirms = types.NewSet(nn)
-	n.tFrom = types.NewSet(nn)
+	n.sSenders = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.acks = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.readies = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.confirms = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.tFrom = quorum.NewTracker(n.cfg.Trust, n.self)
 	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
 		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
 	}
@@ -105,32 +115,22 @@ func (n *ConstantRoundNode) onInput(env sim.Env, src types.ProcessID, value stri
 		return
 	}
 	n.sSenders.Add(src)
-	if !n.sentS && n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+	if !n.sentS && n.sSenders.HasQuorum() {
 		n.sentS = true
 		n.sSnapshot = n.s.Clone()
 		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
 	}
-	n.drainPending(env)
-}
-
-// drainPending retries buffered DISTRIBUTE_S/T messages whose components
-// may now have been arb-delivered.
-func (n *ConstantRoundNode) drainPending(env sim.Env) {
-	for from, s := range n.pendingS {
-		if n.sentT {
-			delete(n.pendingS, from)
-			continue
-		}
-		if n.s.ContainsAll(s) {
-			delete(n.pendingS, from)
-			n.acceptS(env, from, s)
+	// Wake exactly the buffered DISTRIBUTE sets waiting on this delivery.
+	for _, e := range n.pendingS.deliver(src, value) {
+		if !n.sentT {
+			n.acceptS(env, e.from, e.pairs)
 		}
 	}
-	for from, tt := range n.pendingT {
-		if n.s.ContainsAll(tt) {
-			delete(n.pendingT, from)
-			n.acceptT(env, from, tt)
-		}
+	for _, e := range n.pendingT.deliver(src, value) {
+		n.acceptT(env, e.from, e.pairs)
+	}
+	if n.inputHook != nil {
+		n.inputHook(env, src, value)
 	}
 }
 
@@ -142,7 +142,7 @@ func (n *ConstantRoundNode) acceptS(env sim.Env, from types.ProcessID, s Pairs) 
 func (n *ConstantRoundNode) acceptT(env sim.Env, from types.ProcessID, t Pairs) {
 	n.u.Merge(t)
 	n.tFrom.Add(from)
-	if !n.delivered && n.cfg.Trust.HasQuorumWithin(n.self, n.tFrom) {
+	if !n.delivered && n.tFrom.HasQuorum() {
 		n.delivered = true
 		n.output = n.u.Clone()
 	}
@@ -155,48 +155,44 @@ func (n *ConstantRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.M
 	}
 	switch m := msg.(type) {
 	case distSMsg:
-		if m.From != from {
+		if m.From != from || !m.S.wireValid(env.N()) {
 			return
 		}
 		if n.sentT {
 			return // line 48: no ACK once T was distributed
 		}
-		if n.s.ContainsAll(m.S) {
+		if n.pendingS.add(n.s, from, m.S) {
 			n.acceptS(env, from, m.S)
-		} else {
-			n.pendingS[from] = m.S
 		}
 	case ackMsg:
 		n.acks.Add(from)
-		if !n.sentReady && n.cfg.Trust.HasQuorumWithin(n.self, n.acks) {
+		if !n.sentReady && n.acks.HasQuorum() {
 			n.sentReady = true
 			env.Broadcast(readyMsg{})
 		}
 	case readyMsg:
 		n.readies.Add(from)
-		if !n.sentConfirm && n.cfg.Trust.HasQuorumWithin(n.self, n.readies) {
+		if !n.sentConfirm && n.readies.HasQuorum() {
 			n.sentConfirm = true
 			env.Broadcast(confirmMsg{})
 		}
 	case confirmMsg:
 		n.confirms.Add(from)
-		if !n.sentConfirm && n.cfg.Trust.HasKernelWithin(n.self, n.confirms) {
+		if !n.sentConfirm && n.confirms.HasKernel() {
 			n.sentConfirm = true
 			env.Broadcast(confirmMsg{})
 		}
-		if !n.sentT && n.cfg.Trust.HasQuorumWithin(n.self, n.confirms) {
+		if !n.sentT && n.confirms.HasQuorum() {
 			n.sentT = true
-			n.pendingS = map[types.ProcessID]Pairs{} // stop acknowledging
+			n.pendingS.clear() // stop acknowledging
 			env.Broadcast(distTMsg{From: n.self, T: n.t.Clone()})
 		}
 	case distTMsg:
-		if m.From != from {
+		if m.From != from || !m.T.wireValid(env.N()) {
 			return
 		}
-		if n.s.ContainsAll(m.T) {
+		if n.pendingT.add(n.s, from, m.T) {
 			n.acceptT(env, from, m.T)
-		} else {
-			n.pendingT[from] = m.T
 		}
 	}
 }
@@ -204,12 +200,12 @@ func (n *ConstantRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.M
 // Delivered returns the ag-delivered set, if any.
 func (n *ConstantRoundNode) Delivered() (Pairs, bool) {
 	if !n.delivered {
-		return nil, false
+		return Pairs{}, false
 	}
 	return n.output, true
 }
 
-// SentS returns the S snapshot this node distributed (nil until sent).
+// SentS returns the S snapshot this node distributed (zero until sent).
 func (n *ConstantRoundNode) SentS() Pairs { return n.sSnapshot }
 
 // KnownInputs returns a copy of every (process, value) pair this node has

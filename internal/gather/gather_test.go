@@ -214,7 +214,7 @@ func TestAlgorithm3ValidityAndAgreement(t *testing.T) {
 		Seed:    11,
 	})
 	for p, out := range res.Outputs {
-		for src, val := range out {
+		for src, val := range out.Map() {
 			if want := InputValue(src); val != want {
 				t.Fatalf("%v delivered (%v,%q), want value %q (validity)", p, src, val, want)
 			}
@@ -223,7 +223,7 @@ func TestAlgorithm3ValidityAndAgreement(t *testing.T) {
 	// Agreement across outputs.
 	agreed := map[types.ProcessID]string{}
 	for _, out := range res.Outputs {
-		for src, val := range out {
+		for src, val := range out.Map() {
 			if prev, ok := agreed[src]; ok && prev != val {
 				t.Fatalf("agreement violated for %v: %q vs %q", src, prev, val)
 			}
@@ -285,21 +285,21 @@ func TestMessageOverheadComparison(t *testing.T) {
 }
 
 func TestPairsOps(t *testing.T) {
-	p := NewPairs()
+	p := NewPairs(5)
 	if !p.Set(1, "a") || !p.Set(2, "b") {
 		t.Fatal("Set on fresh keys failed")
 	}
 	if p.Set(1, "conflict") {
 		t.Fatal("conflicting Set should return false")
 	}
-	q := Pairs{1: "a"}
+	q := PairsOf(5, map[types.ProcessID]string{1: "a"})
 	if !p.ContainsAll(q) {
 		t.Error("ContainsAll subset failed")
 	}
 	if q.ContainsAll(p) {
 		t.Error("ContainsAll superset should fail")
 	}
-	if q.ContainsAll(Pairs{1: "x"}) {
+	if q.ContainsAll(PairsOf(5, map[types.ProcessID]string{1: "x"})) {
 		t.Error("ContainsAll must compare values")
 	}
 	c := p.Clone()
@@ -307,23 +307,23 @@ func TestPairsOps(t *testing.T) {
 	if p.Len() != 2 {
 		t.Error("Clone not independent")
 	}
-	m := Pairs{2: "b", 3: "c"}
+	m := PairsOf(5, map[types.ProcessID]string{2: "b", 3: "c"})
 	if !p.Merge(m) {
 		t.Error("compatible Merge returned false")
 	}
 	if p.Len() != 3 {
 		t.Errorf("Len = %d", p.Len())
 	}
-	if p.Merge(Pairs{3: "zzz"}) {
+	if p.Merge(PairsOf(5, map[types.ProcessID]string{3: "zzz"})) {
 		t.Error("conflicting Merge returned true")
 	}
 	if got := p.Senders(5); !got.Equal(types.NewSetOf(5, 1, 2, 3)) {
 		t.Errorf("Senders = %v", got)
 	}
-	if Pairs(nil).String() != "{}" {
-		t.Errorf("empty String = %q", Pairs(nil).String())
+	if (Pairs{}).String() != "{}" {
+		t.Errorf("empty String = %q", (Pairs{}).String())
 	}
-	if got := (Pairs{0: "v1"}).String(); got != `{1:"v1"}` {
+	if got := PairsOf(5, map[types.ProcessID]string{0: "v1"}).String(); got != `{1:"v1"}` {
 		t.Errorf("String = %q", got)
 	}
 }
@@ -351,7 +351,7 @@ type poisonNode struct {
 func (p *poisonNode) Init(env sim.Env) {
 	p.rb = broadcast.NewReliable(env.Self(), p.trust, func(sim.Env, broadcast.Slot, broadcast.Payload) {})
 	p.rb.Broadcast(env, 0, broadcast.Bytes("byzantine-input"))
-	env.Broadcast(distSMsg{From: env.Self(), S: Pairs{p.victim: "FABRICATED"}})
+	env.Broadcast(distSMsg{From: env.Self(), S: PairsOf(env.N(), map[types.ProcessID]string{p.victim: "FABRICATED"})})
 }
 
 func (p *poisonNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
@@ -379,7 +379,7 @@ func TestAlgorithm3RejectsFabricatedPairs(t *testing.T) {
 		if !ok {
 			t.Fatalf("correct %v did not deliver", p)
 		}
-		if v, present := out[victim]; present && v != InputValue(victim) {
+		if v, present := out.Get(victim); present && v != InputValue(victim) {
 			t.Fatalf("%v delivered fabricated value %q for %v", p, v, victim)
 		}
 	}

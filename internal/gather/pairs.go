@@ -15,49 +15,105 @@
 package gather
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 
 	"repro/internal/types"
 )
 
 // Pairs is a set of (process, value) pairs — the S/T/U sets of the gather
-// protocols. The map key is the proposing process; correct processes never
-// associate two values with one process (reliable broadcast forbids it),
-// but messages from Byzantine processes may try, so all merging goes
-// through conflict-aware methods.
-type Pairs map[types.ProcessID]string
+// protocols. Correct processes never associate two values with one process
+// (reliable broadcast forbids it), but messages from Byzantine processes
+// may try, so all merging goes through conflict-aware methods.
+//
+// Representation: a sender bitset plus a value slice indexed by process.
+// The subset test other ⊆ p — the acceptance predicate evaluated on every
+// DISTRIBUTE message — is then a word-parallel bitset check followed by
+// value comparisons for other's members only, with no map hashing or
+// iteration; Merge and Clone are word-ors and slice copies.
+type Pairs struct {
+	senders types.Set
+	vals    []string
+}
 
-// NewPairs returns an empty pair set.
-func NewPairs() Pairs { return Pairs{} }
+// NewPairs returns an empty pair set over a universe of n processes.
+func NewPairs(n int) Pairs {
+	return Pairs{senders: types.NewSet(n), vals: make([]string, n)}
+}
+
+// PairsOf builds a pair set over a universe of n from a literal map
+// (convenience for tests and adversarial nodes).
+func PairsOf(n int, m map[types.ProcessID]string) Pairs {
+	p := NewPairs(n)
+	for k, v := range m {
+		p.Set(k, v)
+	}
+	return p
+}
+
+// IsZero reports whether p is the zero value (as opposed to an initialized
+// empty set). Nodes use it for "not yet sent/delivered" sentinels.
+func (p Pairs) IsZero() bool { return p.vals == nil }
 
 // Clone returns an independent copy.
 func (p Pairs) Clone() Pairs {
-	c := make(Pairs, len(p))
-	for k, v := range p {
-		c[k] = v
+	if p.IsZero() {
+		return p
 	}
+	c := Pairs{senders: p.senders.Clone(), vals: make([]string, len(p.vals))}
+	copy(c.vals, p.vals)
 	return c
+}
+
+// Get returns the value associated with process k, if any.
+func (p Pairs) Get(k types.ProcessID) (string, bool) {
+	if p.IsZero() || !p.senders.Contains(k) {
+		return "", false
+	}
+	return p.vals[k], true
+}
+
+// Contains reports whether process k has a value in p.
+func (p Pairs) Contains(k types.ProcessID) bool {
+	return !p.IsZero() && p.senders.Contains(k)
 }
 
 // Set associates value v with process k, returning false if a conflicting
 // value is already present (the caller should then reject the message).
 func (p Pairs) Set(k types.ProcessID, v string) bool {
-	if old, ok := p[k]; ok {
-		return old == v
+	if p.senders.Contains(k) {
+		return p.vals[k] == v
 	}
-	p[k] = v
+	p.senders.Add(k)
+	p.vals[k] = v
 	return true
 }
 
 // ContainsAll reports whether every pair of other appears in p with the
 // same value (other ⊆ p).
 func (p Pairs) ContainsAll(other Pairs) bool {
-	for k, v := range other {
-		if got, ok := p[k]; !ok || got != v {
+	if other.IsZero() {
+		return true
+	}
+	if p.IsZero() {
+		return other.senders.IsEmpty()
+	}
+	pw, ow := p.senders.Words(), other.senders.Words()
+	for wi, w := range ow {
+		if w&^pw[wi] != 0 {
 			return false
+		}
+	}
+	for wi, w := range ow {
+		for w != 0 {
+			k := wi*64 + bits.TrailingZeros64(w)
+			if p.vals[k] != other.vals[k] {
+				return false
+			}
+			w &= w - 1
 		}
 	}
 	return true
@@ -66,44 +122,82 @@ func (p Pairs) ContainsAll(other Pairs) bool {
 // Merge adds every pair of other into p. It returns false (and leaves the
 // remaining pairs merged) if any pair conflicts with an existing value.
 func (p Pairs) Merge(other Pairs) bool {
+	if other.IsZero() {
+		return true
+	}
 	ok := true
-	for k, v := range other {
-		if !p.Set(k, v) {
-			ok = false
+	pw, ow := p.senders.Words(), other.senders.Words()
+	for wi, w := range ow {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			k := wi*64 + b
+			if pw[wi]&(1<<uint(b)) != 0 {
+				if p.vals[k] != other.vals[k] {
+					ok = false
+				}
+			} else {
+				pw[wi] |= 1 << uint(b)
+				p.vals[k] = other.vals[k]
+			}
+			w &= w - 1
 		}
 	}
 	return ok
 }
 
+// ForEach calls fn for every pair in ascending process order; iteration
+// stops if fn returns false.
+func (p Pairs) ForEach(fn func(k types.ProcessID, v string) bool) {
+	if p.IsZero() {
+		return
+	}
+	p.senders.ForEach(func(k types.ProcessID) bool {
+		return fn(k, p.vals[k])
+	})
+}
+
+// Map materializes the pairs as a plain map — a convenience for tests and
+// tooling, not for hot paths.
+func (p Pairs) Map() map[types.ProcessID]string {
+	m := make(map[types.ProcessID]string, p.Len())
+	p.ForEach(func(k types.ProcessID, v string) bool {
+		m[k] = v
+		return true
+	})
+	return m
+}
+
 // Senders returns the set of processes appearing in p, over a universe of
 // size n.
 func (p Pairs) Senders(n int) types.Set {
-	s := types.NewSet(n)
-	for k := range p {
-		s.Add(k)
+	if p.IsZero() {
+		return types.NewSet(n)
 	}
-	return s
+	return p.senders.Clone()
 }
 
 // Len returns the number of pairs.
-func (p Pairs) Len() int { return len(p) }
+func (p Pairs) Len() int {
+	if p.IsZero() {
+		return 0
+	}
+	return p.senders.Count()
+}
 
 // String renders the pairs sorted by process, for deterministic test and
 // experiment output.
 func (p Pairs) String() string {
-	keys := make([]int, 0, len(p))
-	for k := range p {
-		keys = append(keys, int(k))
-	}
-	sort.Ints(keys)
 	var b strings.Builder
 	b.WriteString("{")
-	for i, k := range keys {
-		if i > 0 {
+	first := true
+	p.ForEach(func(k types.ProcessID, v string) bool {
+		if !first {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%d:%q", k+1, p[types.ProcessID(k)])
-	}
+		first = false
+		fmt.Fprintf(&b, "%d:%q", int(k)+1, v)
+		return true
+	})
 	b.WriteString("}")
 	return b.String()
 }
@@ -111,10 +205,79 @@ func (p Pairs) String() string {
 // SimSize approximates the wire size of a pair set.
 func (p Pairs) SimSize() int {
 	sz := 0
-	for _, v := range p {
+	p.ForEach(func(_ types.ProcessID, v string) bool {
 		sz += 8 + len(v)
-	}
+		return true
+	})
 	return sz
+}
+
+// pairsWire is the gob representation of Pairs (the in-memory layout has
+// unexported fields).
+type pairsWire struct {
+	N     int
+	Procs []int32
+	Vals  []string
+}
+
+// GobEncode implements gob.GobEncoder.
+func (p Pairs) GobEncode() ([]byte, error) {
+	w := pairsWire{N: p.senders.UniverseSize()}
+	p.ForEach(func(k types.ProcessID, v string) bool {
+		w.Procs = append(w.Procs, int32(k))
+		w.Vals = append(w.Vals, v)
+		return true
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// maxWireUniverse bounds the universe size accepted off the wire, so a
+// malicious peer cannot make the decoder allocate an arbitrarily large
+// value slice.
+const maxWireUniverse = 1 << 20
+
+// GobDecode implements gob.GobDecoder. The payload comes from the network
+// (possibly from a Byzantine peer), so every field is validated before it
+// shapes an allocation or an index: the old map representation tolerated
+// arbitrary keys, the bitset representation must enforce its bounds.
+func (p *Pairs) GobDecode(b []byte) error {
+	var w pairsWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	if w.N == 0 {
+		if len(w.Procs) != 0 || len(w.Vals) != 0 {
+			return fmt.Errorf("gather: wire Pairs has %d pairs in an empty universe", len(w.Procs))
+		}
+		*p = Pairs{}
+		return nil
+	}
+	if w.N < 0 || w.N > maxWireUniverse {
+		return fmt.Errorf("gather: wire Pairs universe %d out of range", w.N)
+	}
+	if len(w.Procs) != len(w.Vals) {
+		return fmt.Errorf("gather: wire Pairs has %d processes but %d values", len(w.Procs), len(w.Vals))
+	}
+	*p = NewPairs(w.N)
+	for i, proc := range w.Procs {
+		if proc < 0 || int(proc) >= w.N {
+			return fmt.Errorf("gather: wire Pairs process %d outside universe %d", proc, w.N)
+		}
+		p.Set(types.ProcessID(proc), w.Vals[i])
+	}
+	return nil
+}
+
+// wireValid reports whether a Pairs received in a message is usable in a
+// cluster of n processes: either the zero value or built over the same
+// universe. Handlers drop messages that fail it — a decoded Pairs with a
+// different universe would otherwise panic inside Merge/ContainsAll.
+func (p Pairs) wireValid(n int) bool {
+	return p.IsZero() || (p.senders.UniverseSize() == n && len(p.vals) == n)
 }
 
 // RegisterWire registers this package's message types with encoding/gob

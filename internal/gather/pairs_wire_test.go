@@ -1,0 +1,104 @@
+package gather
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func encodeWire(t *testing.T, w pairsWire) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPairsGobRoundTrip pins the codec on well-formed data.
+func TestPairsGobRoundTrip(t *testing.T) {
+	orig := PairsOf(7, map[types.ProcessID]string{0: "a", 3: "b", 6: "c"})
+	enc, err := orig.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Pairs
+	if err := got.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !got.ContainsAll(orig) || !orig.ContainsAll(got) {
+		t.Fatalf("round trip lost pairs: %v vs %v", got, orig)
+	}
+}
+
+// TestPairsGobDecodeRejectsMalformed: adversarial wire payloads must be
+// rejected with an error, not crash the decoder or later set operations.
+func TestPairsGobDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string]pairsWire{
+		"process outside universe": {N: 4, Procs: []int32{9}, Vals: []string{"x"}},
+		"negative process":         {N: 4, Procs: []int32{-1}, Vals: []string{"x"}},
+		"mismatched lengths":       {N: 4, Procs: []int32{1, 2}, Vals: []string{"x"}},
+		"negative universe":        {N: -5, Procs: nil, Vals: nil},
+		"gigantic universe":        {N: 1 << 30, Procs: nil, Vals: nil},
+		"pairs in empty universe":  {N: 0, Procs: []int32{0}, Vals: []string{"x"}},
+	}
+	for name, w := range cases {
+		var p Pairs
+		if err := p.GobDecode(encodeWire(t, w)); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+}
+
+// TestPendingPairsSupersede pins the buffering semantics: an immediately
+// accepted set leaves the sender's earlier buffered set pending, while a
+// newly buffered (or conflicting) set supersedes it — mirroring the
+// map-overwrite behavior of the rescan implementation this replaced.
+func TestPendingPairsSupersede(t *testing.T) {
+	s := PairsOf(4, map[types.ProcessID]string{0: "a"})
+	pp := newPendingPairs()
+
+	// S1 buffers (waits on p2); S2 is immediately acceptable.
+	s1 := PairsOf(4, map[types.ProcessID]string{0: "a", 2: "c"})
+	if pp.add(s, 1, s1) {
+		t.Fatal("S1 should buffer")
+	}
+	s2 := PairsOf(4, map[types.ProcessID]string{0: "a"})
+	if !pp.add(s, 1, s2) {
+		t.Fatal("S2 should be immediately acceptable")
+	}
+	// S1 must still be pending: delivering (2, "c") wakes it.
+	s.Set(2, "c")
+	ready := pp.deliver(2, "c")
+	if len(ready) != 1 || !ready[0].pairs.ContainsAll(s1) {
+		t.Fatalf("S1 lost after immediate accept of S2: ready=%v", ready)
+	}
+
+	// A newly buffered set supersedes the sender's earlier buffered one.
+	s3 := PairsOf(4, map[types.ProcessID]string{3: "d"})
+	s4 := PairsOf(4, map[types.ProcessID]string{3: "e"})
+	if pp.add(s, 1, s3) || pp.add(s, 1, s4) {
+		t.Fatal("S3/S4 should buffer")
+	}
+	s.Set(3, "e")
+	ready = pp.deliver(3, "e")
+	if len(ready) != 1 || !ready[0].pairs.ContainsAll(s4) {
+		t.Fatalf("expected only superseding S4 to wake, got %v", ready)
+	}
+}
+
+// TestPairsWireValid: handlers must drop pair-sets over the wrong universe
+// before they reach Merge/ContainsAll.
+func TestPairsWireValid(t *testing.T) {
+	if !(Pairs{}).wireValid(4) {
+		t.Error("zero Pairs must be wire-valid")
+	}
+	if !NewPairs(4).wireValid(4) {
+		t.Error("matching universe must be wire-valid")
+	}
+	if NewPairs(5).wireValid(4) {
+		t.Error("mismatched universe must be rejected")
+	}
+}

@@ -1,0 +1,126 @@
+package gather
+
+import (
+	"math/bits"
+
+	"repro/internal/types"
+)
+
+// pendingEntry is one buffered DISTRIBUTE_S/T/U pair-set whose components
+// have not all been arb-delivered yet.
+type pendingEntry struct {
+	from    types.ProcessID
+	pairs   Pairs
+	missing int  // pairs not yet confirmed by local arb-deliveries
+	dead    bool // conflicting value observed: can never be accepted
+}
+
+// pendingPairs indexes buffered pair-sets by the arb-deliveries they still
+// await, so each delivery re-checks exactly the entries waiting on that
+// process instead of rescanning every pending message (the old drainPending
+// was O(deliveries × pending × |S|); this is O(total pending membership)).
+//
+// Conflict handling mirrors the rescan semantics: a pair (k, v) whose
+// process k is locally bound to a different value can never satisfy the
+// S_j ⊆ S acceptance predicate (S values are write-once), so the entry is
+// discarded instead of staying buffered forever.
+type pendingPairs struct {
+	bySender map[types.ProcessID]*pendingEntry
+	waiters  map[types.ProcessID][]*pendingEntry
+}
+
+func newPendingPairs() *pendingPairs {
+	return &pendingPairs{
+		bySender: map[types.ProcessID]*pendingEntry{},
+		waiters:  map[types.ProcessID][]*pendingEntry{},
+	}
+}
+
+// add registers the pair-set from a sender against the current local set s.
+// It returns ready=true when the set is acceptable right now (nothing is
+// buffered in that case). A newer message from the same sender that has to
+// buffer supersedes the sender's earlier buffered one — the map-overwrite
+// semantics this replaces; an immediately accepted message leaves any
+// earlier buffered set pending, exactly as the old accept branch did.
+func (pp *pendingPairs) add(s Pairs, from types.ProcessID, pairs Pairs) (ready bool) {
+	if pairs.IsZero() {
+		return true
+	}
+	entry := &pendingEntry{from: from, pairs: pairs}
+	// Word-parallel split of pairs into present-in-s (value check) and
+	// missing (waiter registration) members.
+	sw, ow := s.senders.Words(), pairs.senders.Words()
+	for wi, w := range ow {
+		for present := w & sw[wi]; present != 0; present &= present - 1 {
+			k := wi*64 + bits.TrailingZeros64(present)
+			if s.vals[k] != pairs.vals[k] {
+				// Conflicting value: this set can never be accepted, and it
+				// supersedes the sender's earlier buffered set (the old code
+				// overwrote it with this never-acceptable one).
+				entry.dead = true
+				pp.supersede(from)
+				return false
+			}
+		}
+	}
+	for wi, w := range ow {
+		for missing := w &^ sw[wi]; missing != 0; missing &= missing - 1 {
+			k := types.ProcessID(wi*64 + bits.TrailingZeros64(missing))
+			entry.missing++
+			pp.waiters[k] = append(pp.waiters[k], entry)
+		}
+	}
+	if entry.missing == 0 {
+		entry.dead = true // never consulted again via waiters
+		return true
+	}
+	pp.supersede(from)
+	pp.bySender[from] = entry
+	return false
+}
+
+// supersede invalidates the sender's currently buffered entry, if any.
+func (pp *pendingPairs) supersede(from types.ProcessID) {
+	if old := pp.bySender[from]; old != nil {
+		old.dead = true
+		delete(pp.bySender, from)
+	}
+}
+
+// deliver records that (k, v) entered the local set and returns the entries
+// that became acceptable as a result.
+func (pp *pendingPairs) deliver(k types.ProcessID, v string) []*pendingEntry {
+	list, ok := pp.waiters[k]
+	if !ok {
+		return nil
+	}
+	delete(pp.waiters, k)
+	var ready []*pendingEntry
+	for _, e := range list {
+		if e.dead {
+			continue
+		}
+		if want, _ := e.pairs.Get(k); want != v {
+			e.dead = true
+			delete(pp.bySender, e.from)
+			continue
+		}
+		e.missing--
+		if e.missing == 0 {
+			e.dead = true
+			delete(pp.bySender, e.from)
+			ready = append(ready, e)
+		}
+	}
+	return ready
+}
+
+// clear drops every buffered entry (used when the protocol stops
+// acknowledging).
+func (pp *pendingPairs) clear() {
+	for _, e := range pp.bySender {
+		e.dead = true
+	}
+	pp.bySender = map[types.ProcessID]*pendingEntry{}
+	pp.waiters = map[types.ProcessID][]*pendingEntry{}
+}

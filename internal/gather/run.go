@@ -92,14 +92,14 @@ func RunCluster(cfg RunConfig) RunResult {
 			if out, ok := g.Delivered(); ok {
 				res.Outputs[p] = out
 			}
-			if s := g.SentS(); s != nil {
+			if s := g.SentS(); !s.IsZero() {
 				res.SSnapshots[p] = s
 			}
 		case *ConstantRoundNode:
 			if out, ok := g.Delivered(); ok {
 				res.Outputs[p] = out
 			}
-			if s := g.SentS(); s != nil {
+			if s := g.SentS(); !s.IsZero() {
 				res.SSnapshots[p] = s
 			}
 		}

@@ -66,9 +66,9 @@ type ThreeRoundNode struct {
 	t Pairs
 	u Pairs
 
-	sSenders types.Set // processes whose input has been arb-delivered
-	sFrom    types.Set // processes whose DISTRIBUTE_S arrived
-	tFrom    types.Set // processes whose DISTRIBUTE_T arrived
+	sSenders *quorum.Tracker // processes whose input has been arb-delivered
+	sFrom    *quorum.Tracker // processes whose DISTRIBUTE_S arrived
+	tFrom    *quorum.Tracker // processes whose DISTRIBUTE_T arrived
 
 	sentS     bool
 	sentT     bool
@@ -82,15 +82,16 @@ var _ sim.Node = (*ThreeRoundNode)(nil)
 
 // NewThreeRoundNode creates a gather node; the protocol starts at Init.
 func NewThreeRoundNode(cfg Config) *ThreeRoundNode {
-	return &ThreeRoundNode{cfg: cfg, s: NewPairs(), t: NewPairs(), u: NewPairs()}
+	n := cfg.Trust.N()
+	return &ThreeRoundNode{cfg: cfg, s: NewPairs(n), t: NewPairs(n), u: NewPairs(n)}
 }
 
 // Init implements sim.Node: it g-proposes the configured input.
 func (n *ThreeRoundNode) Init(env sim.Env) {
 	n.self = env.Self()
-	n.sSenders = types.NewSet(env.N())
-	n.sFrom = types.NewSet(env.N())
-	n.tFrom = types.NewSet(env.N())
+	n.sSenders = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.sFrom = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.tFrom = quorum.NewTracker(n.cfg.Trust, n.self)
 	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
 		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
 	}
@@ -115,7 +116,7 @@ func (n *ThreeRoundNode) onInput(env sim.Env, src types.ProcessID, value string)
 }
 
 func (n *ThreeRoundNode) maybeSendS(env sim.Env) {
-	if n.sentS || !n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+	if n.sentS || !n.sSenders.HasQuorum() {
 		return
 	}
 	n.sentS = true
@@ -130,8 +131,8 @@ func (n *ThreeRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Mess
 	}
 	switch m := msg.(type) {
 	case distSMsg:
-		if m.From != from {
-			return // authenticated links
+		if m.From != from || !m.S.wireValid(env.N()) {
+			return // authenticated links; malformed wire payloads dropped
 		}
 		// Algorithm 1/2 line 11–12: merge unconditionally into T only (U
 		// accumulates DISTRIBUTE_T contents exclusively, line 15–16).
@@ -139,7 +140,7 @@ func (n *ThreeRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Mess
 		n.sFrom.Add(from)
 		n.maybeSendT(env)
 	case distTMsg:
-		if m.From != from {
+		if m.From != from || !m.T.wireValid(env.N()) {
 			return
 		}
 		n.u.Merge(m.T)
@@ -149,7 +150,7 @@ func (n *ThreeRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Mess
 }
 
 func (n *ThreeRoundNode) maybeSendT(env sim.Env) {
-	if n.sentT || !n.cfg.Trust.HasQuorumWithin(n.self, n.sFrom) {
+	if n.sentT || !n.sFrom.HasQuorum() {
 		return
 	}
 	n.sentT = true
@@ -157,7 +158,7 @@ func (n *ThreeRoundNode) maybeSendT(env sim.Env) {
 }
 
 func (n *ThreeRoundNode) maybeDeliver(env sim.Env) {
-	if n.delivered || !n.cfg.Trust.HasQuorumWithin(n.self, n.tFrom) {
+	if n.delivered || !n.tFrom.HasQuorum() {
 		return
 	}
 	n.delivered = true
@@ -167,13 +168,13 @@ func (n *ThreeRoundNode) maybeDeliver(env sim.Env) {
 // Delivered returns the g-delivered set, if any.
 func (n *ThreeRoundNode) Delivered() (Pairs, bool) {
 	if !n.delivered {
-		return nil, false
+		return Pairs{}, false
 	}
 	return n.output, true
 }
 
-// SentS returns the S snapshot this node distributed (nil until sent); the
-// common core, when it exists, is one of these snapshots.
+// SentS returns the S snapshot this node distributed (zero until sent);
+// the common core, when it exists, is one of these snapshots.
 func (n *ThreeRoundNode) SentS() Pairs { return n.sSnapshot }
 
 // AnalyzeCommonCore checks the common-core property over a set of
@@ -185,7 +186,7 @@ func AnalyzeCommonCore(n int, sSnap map[types.ProcessID]Pairs, uSets map[types.P
 	out := types.NewSet(n)
 	for _, j := range within.Members() {
 		sj, ok := sSnap[j]
-		if !ok || sj == nil {
+		if !ok || sj.IsZero() {
 			continue
 		}
 		good := true

@@ -2,6 +2,7 @@ package gather
 
 import (
 	"repro/internal/broadcast"
+	"repro/internal/quorum"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -26,9 +27,9 @@ type TwoRoundNode struct {
 	bc broadcast.Broadcaster
 
 	s        Pairs
-	sSenders types.Set
+	sSenders *quorum.Tracker
 	u        Pairs
-	sFrom    types.Set
+	sFrom    *quorum.Tracker
 
 	sentS     bool
 	delivered bool
@@ -41,14 +42,15 @@ var _ sim.Node = (*TwoRoundNode)(nil)
 
 // NewTwoRoundNode creates a two-round gather node.
 func NewTwoRoundNode(cfg Config) *TwoRoundNode {
-	return &TwoRoundNode{cfg: cfg, s: NewPairs(), u: NewPairs()}
+	n := cfg.Trust.N()
+	return &TwoRoundNode{cfg: cfg, s: NewPairs(n), u: NewPairs(n)}
 }
 
 // Init implements sim.Node.
 func (n *TwoRoundNode) Init(env sim.Env) {
 	n.self = env.Self()
-	n.sSenders = types.NewSet(env.N())
-	n.sFrom = types.NewSet(env.N())
+	n.sSenders = quorum.NewTracker(n.cfg.Trust, n.self)
+	n.sFrom = quorum.NewTracker(n.cfg.Trust, n.self)
 	deliver := func(env sim.Env, slot broadcast.Slot, p broadcast.Payload) {
 		n.onInput(env, slot.Src, string(p.(broadcast.Bytes)))
 	}
@@ -65,7 +67,7 @@ func (n *TwoRoundNode) onInput(env sim.Env, src types.ProcessID, value string) {
 		return
 	}
 	n.sSenders.Add(src)
-	if !n.sentS && n.cfg.Trust.HasQuorumWithin(n.self, n.sSenders) {
+	if !n.sentS && n.sSenders.HasQuorum() {
 		n.sentS = true
 		n.sSnapshot = n.s.Clone()
 		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
@@ -78,12 +80,12 @@ func (n *TwoRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Messag
 		return
 	}
 	m, ok := msg.(distSMsg)
-	if !ok || m.From != from {
+	if !ok || m.From != from || !m.S.wireValid(env.N()) {
 		return
 	}
 	n.u.Merge(m.S)
 	n.sFrom.Add(from)
-	if !n.delivered && n.cfg.Trust.HasQuorumWithin(n.self, n.sFrom) {
+	if !n.delivered && n.sFrom.HasQuorum() {
 		n.delivered = true
 		n.output = n.u.Clone()
 	}
@@ -92,12 +94,12 @@ func (n *TwoRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Messag
 // Delivered returns the delivered set, if any.
 func (n *TwoRoundNode) Delivered() (Pairs, bool) {
 	if !n.delivered {
-		return nil, false
+		return Pairs{}, false
 	}
 	return n.output, true
 }
 
-// SentS returns the S snapshot this node distributed (nil until sent).
+// SentS returns the S snapshot this node distributed (zero until sent).
 func (n *TwoRoundNode) SentS() Pairs { return n.sSnapshot }
 
 // TuskCommonCoreElements computes, for the two-round primitive, the set of

@@ -27,7 +27,7 @@ func runTwoRound(trust quorum.Assumption, mode Dissemination, lat sim.LatencyMod
 		if out, ok := nd.Delivered(); ok {
 			outputs[types.ProcessID(i)] = out
 		}
-		if s := nd.SentS(); s != nil {
+		if s := nd.SentS(); !s.IsZero() {
 			snaps[types.ProcessID(i)] = s
 		}
 	}

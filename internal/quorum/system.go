@@ -6,10 +6,18 @@
 // Protocol code depends only on the narrow Assumption interface; explicit
 // systems (System) additionally support analysis: validation, guild and
 // kernel computation, and rendering.
+//
+// Predicate evaluation is served by the incremental engine in engine.go:
+// explicit systems compile lazily into an Evaluator (flattened quorum
+// words, popcounts, inverted indexes), and protocol tallies hold Tracker
+// values that answer HasQuorum/HasKernel in O(1) after an O(words)
+// Add(member) update instead of re-scanning Q_i on every delivery. See the
+// engine.go file comment for the design and complexity bounds.
 package quorum
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -40,6 +48,11 @@ type System struct {
 	n         int
 	failProne [][]types.Set // failProne[i] = F_i
 	quorums   [][]types.Set // quorums[i] = Q_i
+
+	// compiled is the lazily-built predicate engine (see engine.go); it is
+	// shared by every node of a run, so the build is guarded by a Once.
+	compileOnce sync.Once
+	compiled    *Evaluator
 }
 
 var _ Assumption = (*System)(nil)
@@ -97,24 +110,22 @@ func (s *System) FailProneSets(i types.ProcessID) []types.Set { return s.failPro
 func (s *System) Quorums(i types.ProcessID) []types.Set { return s.quorums[i] }
 
 // HasQuorumWithin reports whether m contains some quorum of process i.
+// One-shot queries go through the compiled evaluator; growing tallies
+// should hold a Tracker instead (see engine.go).
 func (s *System) HasQuorumWithin(i types.ProcessID, m types.Set) bool {
-	for _, q := range s.quorums[i] {
-		if q.IsSubsetOf(m) {
-			return true
-		}
+	if m.UniverseSize() != s.n {
+		panic(fmt.Sprintf("quorum: universe mismatch %d vs %d", m.UniverseSize(), s.n))
 	}
-	return false
+	return s.Evaluator().HasQuorumWithin(i, m)
 }
 
 // HasKernelWithin reports whether m contains a kernel for process i, i.e.
 // whether m intersects every quorum of i.
 func (s *System) HasKernelWithin(i types.ProcessID, m types.Set) bool {
-	for _, q := range s.quorums[i] {
-		if !q.Intersects(m) {
-			return false
-		}
+	if m.UniverseSize() != s.n {
+		panic(fmt.Sprintf("quorum: universe mismatch %d vs %d", m.UniverseSize(), s.n))
 	}
-	return true
+	return s.Evaluator().HasKernelWithin(i, m)
 }
 
 // Tolerates reports whether F ∈ F_i*, i.e. process i correctly foresees the
@@ -130,17 +141,11 @@ func (s *System) Tolerates(i types.ProcessID, f types.Set) bool {
 }
 
 // SmallestQuorumSize returns c(Q) = min over all processes and quorums of
-// |Q|, the constant in the paper's Lemma 4.4 commit-latency bound.
+// |Q|, the constant in the paper's Lemma 4.4 commit-latency bound. The
+// value comes from the compiled evaluator's precomputed popcounts rather
+// than recounting bits.
 func (s *System) SmallestQuorumSize() int {
-	best := s.n + 1
-	for i := range s.quorums {
-		for _, q := range s.quorums[i] {
-			if c := q.Count(); c < best {
-				best = c
-			}
-		}
-	}
-	return best
+	return s.Evaluator().SmallestQuorumSize()
 }
 
 // Wise returns the set of wise processes for an actual faulty set f: the
@@ -169,22 +174,58 @@ func (s *System) Naive(f types.Set) types.Set {
 // MaximalGuild returns the maximal guild for faulty set f: the largest set
 // G of wise processes such that every member has a quorum fully inside G
 // (Definition 2.2). The maximal guild is unique (the union of two guilds is
-// a guild), so the greatest-fixpoint computation below is exact. The result
-// may be empty.
+// a guild), so the greatest-fixpoint computation is exact.
+//
+// The fixpoint runs as a worklist over the evaluator's residual state
+// instead of re-testing HasQuorumWithin per member per sweep: each quorum
+// carries a "still fully inside G" flag, each process the count of such
+// quorums, and removing a process invalidates exactly the quorums the
+// global inverted index names. Total cost is O(total quorum membership)
+// instead of O(sweeps × Σ|Q_i| × words). The result may be empty.
 func (s *System) MaximalGuild(f types.Set) types.Set {
+	e := s.Evaluator()
 	g := s.Wise(f)
-	for {
-		removed := false
-		for _, p := range g.Members() {
-			if !s.HasQuorumWithin(p, g) {
-				g.Remove(p)
-				removed = true
+	gw := g.Words()
+
+	total := int(e.qStart[e.n])
+	full := make([]bool, total)       // quorum still entirely within g
+	fullCnt := make([]int32, e.n)     // per process: quorums within g
+	var queue []types.ProcessID       // members of g that lost all quorums
+	for i := 0; i < e.n; i++ {
+		for k := e.qStart[i]; k < e.qStart[i+1]; k++ {
+			if e.subset(k, gw) {
+				full[k] = true
+				fullCnt[i]++
 			}
 		}
-		if !removed {
-			return g
+	}
+	g.ForEach(func(p types.ProcessID) bool {
+		if fullCnt[p] == 0 {
+			queue = append(queue, p)
+		}
+		return true
+	})
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !g.Contains(x) {
+			continue
+		}
+		g.Remove(x)
+		// Every quorum containing x (any owner) is no longer inside g.
+		for _, k := range e.gInv[e.gInvOff[x]:e.gInvOff[x+1]] {
+			if !full[k] {
+				continue
+			}
+			full[k] = false
+			owner := e.qOwner[k]
+			fullCnt[owner]--
+			if fullCnt[owner] == 0 && g.Contains(types.ProcessID(owner)) {
+				queue = append(queue, types.ProcessID(owner))
+			}
 		}
 	}
+	return g
 }
 
 // Threshold is the classic symmetric threshold assumption with n processes
@@ -238,8 +279,13 @@ func (t Threshold) SmallestQuorumSize() int { return t.n - t.f }
 // threshold assumption every process's quorums coincide, so the first
 // process's check suffices.
 func HasAnyQuorumWithin(a Assumption, m types.Set) bool {
-	if _, ok := a.(Threshold); ok {
+	switch t := a.(type) {
+	case Threshold:
 		return a.HasQuorumWithin(0, m)
+	case *System:
+		// One flat scan over all quorums with the popcount pre-filter,
+		// instead of n per-process predicate calls.
+		return t.Evaluator().HasAnyQuorumWithin(m)
 	}
 	for i := 0; i < a.N(); i++ {
 		if a.HasQuorumWithin(types.ProcessID(i), m) {

@@ -81,11 +81,12 @@ type Register struct {
 	wts   int64
 	opSeq uint64
 
-	writeAcks map[uint64]types.Set
+	writeAcks map[uint64]*quorum.Tracker
 	writeDone map[uint64]func(env sim.Env)
 
 	readReplies map[uint64]map[types.ProcessID]readReplyMsg
-	wbAcks      map[uint64]types.Set
+	readSenders map[uint64]*quorum.Tracker
+	wbAcks      map[uint64]*quorum.Tracker
 	readVal     map[uint64]readReplyMsg
 	readDone    map[uint64]func(env sim.Env, val string, ts int64)
 	readPhase   map[uint64]int // 1 = query, 2 = write-back
@@ -98,10 +99,11 @@ func New(self, writer types.ProcessID, n int, trust quorum.Assumption) *Register
 		writer:      writer,
 		trust:       trust,
 		n:           n,
-		writeAcks:   map[uint64]types.Set{},
+		writeAcks:   map[uint64]*quorum.Tracker{},
 		writeDone:   map[uint64]func(sim.Env){},
 		readReplies: map[uint64]map[types.ProcessID]readReplyMsg{},
-		wbAcks:      map[uint64]types.Set{},
+		readSenders: map[uint64]*quorum.Tracker{},
+		wbAcks:      map[uint64]*quorum.Tracker{},
 		readVal:     map[uint64]readReplyMsg{},
 		readDone:    map[uint64]func(sim.Env, string, int64){},
 		readPhase:   map[uint64]int{},
@@ -117,7 +119,7 @@ func (r *Register) Write(env sim.Env, val string, done func(env sim.Env)) {
 	r.wts++
 	r.opSeq++
 	op := r.opSeq
-	r.writeAcks[op] = types.NewSet(r.n)
+	r.writeAcks[op] = quorum.NewTracker(r.trust, r.self)
 	r.writeDone[op] = done
 	env.Broadcast(writeMsg{Op: op, Ts: r.wts, Val: val})
 }
@@ -127,6 +129,7 @@ func (r *Register) Read(env sim.Env, done func(env sim.Env, val string, ts int64
 	r.opSeq++
 	op := r.opSeq
 	r.readReplies[op] = map[types.ProcessID]readReplyMsg{}
+	r.readSenders[op] = quorum.NewTracker(r.trust, r.self)
 	r.readDone[op] = done
 	r.readPhase[op] = 1
 	env.Broadcast(readMsg{Op: op})
@@ -150,8 +153,7 @@ func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 			return true
 		}
 		acks.Add(from)
-		r.writeAcks[m.Op] = acks
-		if r.trust.HasQuorumWithin(r.self, acks) {
+		if acks.HasQuorum() {
 			done := r.writeDone[m.Op]
 			delete(r.writeAcks, m.Op)
 			delete(r.writeDone, m.Op)
@@ -167,11 +169,9 @@ func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 			return true
 		}
 		replies[from] = m
-		senders := types.NewSet(r.n)
-		for p := range replies {
-			senders.Add(p)
-		}
-		if r.trust.HasQuorumWithin(r.self, senders) {
+		senders := r.readSenders[m.Op]
+		senders.Add(from)
+		if senders.HasQuorum() {
 			// Select the highest-timestamped value and write it back.
 			best := readReplyMsg{Ts: -1}
 			for _, rep := range replies {
@@ -181,7 +181,7 @@ func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 			}
 			r.readVal[m.Op] = best
 			r.readPhase[m.Op] = 2
-			r.wbAcks[m.Op] = types.NewSet(r.n)
+			r.wbAcks[m.Op] = quorum.NewTracker(r.trust, r.self)
 			env.Broadcast(writeBackMsg{Op: m.Op, Ts: best.Ts, Val: best.Val})
 		}
 	case writeBackMsg:
@@ -195,12 +195,12 @@ func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 			return true
 		}
 		acks.Add(from)
-		r.wbAcks[m.Op] = acks
-		if r.trust.HasQuorumWithin(r.self, acks) {
+		if acks.HasQuorum() {
 			best := r.readVal[m.Op]
 			done := r.readDone[m.Op]
 			delete(r.wbAcks, m.Op)
 			delete(r.readReplies, m.Op)
+			delete(r.readSenders, m.Op)
 			delete(r.readVal, m.Op)
 			delete(r.readDone, m.Op)
 			delete(r.readPhase, m.Op)

@@ -12,9 +12,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
 
 	"repro/internal/types"
 )
@@ -154,24 +154,77 @@ type event struct {
 	msg  Message
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a 4-ary min-heap of events by (time, sequence), stored by
+// value: no per-event allocation, no interface boxing (the container/heap
+// version allocated every event and dominated the GC profile of
+// message-heavy runs). Sifting moves elements into the vacated slot and
+// writes the saved element once ("hole" technique) instead of swapping,
+// halving the struct copies — each copy of an event crosses a GC write
+// barrier because Message is an interface. The (time, sequence) key is a
+// total order, so pop sequence — and therefore delivery order — is
+// independent of heap arity and identical to the old implementation.
+type eventQueue struct {
+	events []event
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+const heapArity = 4
+
+func (q *eventQueue) Len() int { return len(q.events) }
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(e event) {
+	q.events = append(q.events, e)
+	i := len(q.events) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !eventLess(&e, &q.events[parent]) {
+			break
+		}
+		q.events[i] = q.events[parent]
+		i = parent
+	}
+	q.events[i] = e
+}
+
+func (q *eventQueue) pop() event {
+	ev := q.events[0]
+	last := len(q.events) - 1
+	moved := q.events[last]
+	q.events[last] = event{} // release the Message reference
+	q.events = q.events[:last]
+	if last == 0 {
+		return ev
+	}
+	i, n := 0, last
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		smallest := first
+		for c := first + 1; c < end; c++ {
+			if eventLess(&q.events[c], &q.events[smallest]) {
+				smallest = c
+			}
+		}
+		if !eventLess(&q.events[smallest], &moved) {
+			break
+		}
+		q.events[i] = q.events[smallest]
+		i = smallest
+	}
+	q.events[i] = moved
+	return ev
 }
 
 // Runner owns an execution: the nodes, the event queue, the clock, and the
@@ -186,6 +239,16 @@ type Runner struct {
 	rng     *rand.Rand
 	metrics *Metrics
 	inited  bool
+
+	// typeCounts accumulates per-message-type counters keyed by dynamic
+	// type; the string-keyed Metrics.ByType view is materialized lazily by
+	// Metrics(). Formatting "%T" per send used to show up in profiles.
+	typeCounts map[reflect.Type]*typeCounter
+}
+
+type typeCounter struct {
+	name  string
+	count int
 }
 
 // NewRunner creates a Runner for the given nodes. len(nodes) must equal
@@ -198,10 +261,11 @@ func NewRunner(cfg Config, nodes []Node) *Runner {
 		cfg.Latency = ConstantLatency(1)
 	}
 	return &Runner{
-		cfg:     cfg,
-		nodes:   nodes,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		metrics: newMetrics(),
+		cfg:        cfg,
+		nodes:      nodes,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		metrics:    newMetrics(),
+		typeCounts: map[reflect.Type]*typeCounter{},
 	}
 }
 
@@ -228,7 +292,13 @@ func (e env) Broadcast(msg Message) {
 
 func (r *Runner) send(from, to types.ProcessID, msg Message) {
 	r.metrics.MessagesSent++
-	r.metrics.ByType[fmt.Sprintf("%T", msg)]++
+	t := reflect.TypeOf(msg)
+	tc, ok := r.typeCounts[t]
+	if !ok {
+		tc = &typeCounter{name: fmt.Sprintf("%T", msg)}
+		r.typeCounts[t] = tc
+	}
+	tc.count++
 	if s, ok := msg.(Sizer); ok {
 		r.metrics.BytesSent += s.SimSize()
 	} else {
@@ -243,7 +313,7 @@ func (r *Runner) send(from, to types.ProcessID, msg Message) {
 		d = 0
 	}
 	r.seq++
-	heap.Push(&r.queue, &event{at: r.now + d, seq: r.seq, to: to, from: from, msg: msg})
+	r.queue.push(event{at: r.now + d, seq: r.seq, to: to, from: from, msg: msg})
 }
 
 // init calls Init on every node (in ID order) exactly once.
@@ -264,7 +334,7 @@ func (r *Runner) Step() bool {
 	if r.queue.Len() == 0 {
 		return false
 	}
-	e := heap.Pop(&r.queue).(*event)
+	e := r.queue.pop()
 	r.now = e.at
 	r.metrics.MessagesDelivered++
 	r.nodes[e.to].Receive(env{r: r, self: e.to}, e.from, e.msg)
@@ -311,8 +381,17 @@ func (r *Runner) Now() VirtualTime { return r.now }
 // Pending returns the number of undelivered events.
 func (r *Runner) Pending() int { return r.queue.Len() }
 
-// Metrics returns the execution's accumulated metrics.
-func (r *Runner) Metrics() *Metrics { return r.metrics }
+// Metrics returns the execution's accumulated metrics. The scalar counters
+// on the returned struct stay live as the run proceeds; ByType is
+// materialized from the per-type counters at each call, so callers that
+// keep stepping the simulation should re-call Metrics() before reading
+// ByType again.
+func (r *Runner) Metrics() *Metrics {
+	for _, tc := range r.typeCounts {
+		r.metrics.ByType[tc.name] = tc.count
+	}
+	return r.metrics
+}
 
 // Node wrappers for fault injection. ------------------------------------
 

@@ -159,7 +159,7 @@ func TestGatherOverTCP(t *testing.T) {
 		if !ok {
 			t.Fatalf("node %d never ag-delivered over TCP", i)
 		}
-		for src, val := range out {
+		for src, val := range out.Map() {
 			if want := gather.InputValue(src); val != want {
 				t.Fatalf("node %d: wrong value for %v: %q", i, src, val)
 			}

@@ -241,15 +241,26 @@ func (s Set) ForEach(fn func(ProcessID) bool) {
 	}
 }
 
-// Key returns a compact string usable as a map key for deduplication.
+// Key returns a compact string usable as a map key for deduplication. The
+// encoding is the raw little-endian bytes of the backing words — not
+// printable, but map keys never are displayed, and this avoids the
+// per-word formatting that used to dominate the gather/common-core dedup
+// paths.
 func (s Set) Key() string {
-	var b strings.Builder
-	b.Grow(len(s.words) * 17)
+	b := make([]byte, 0, len(s.words)*8)
 	for _, w := range s.words {
-		fmt.Fprintf(&b, "%016x.", w)
+		b = append(b,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return b.String()
+	return string(b)
 }
+
+// Words exposes the backing word slice (bit j of word k is process
+// k*64+j). It is shared, not copied: callers must treat it as read-only.
+// The quorum package's compiled evaluator uses it to run word-parallel
+// subset/intersection tests without per-call universe checks.
+func (s Set) Words() []uint64 { return s.words }
 
 // String renders the set in the paper's 1-based notation, e.g. {1, 2, 16}.
 func (s Set) String() string {
