@@ -6,15 +6,19 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench clean
+.PHONY: all build test vet bench benchcmp clean
 
-all: build vet test
+# (test already vets, so all doesn't list vet separately)
+all: build test
 
 build:
 	$(GO) build ./...
 
+# vet + race detector: the sweep engine's worker pool must stay race-clean,
+# and the randomized conformance suites exercise it on every run.
 test:
-	$(GO) test ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +29,11 @@ bench:
 	$(GO) test -json -run='^$$' -bench=. -benchmem -count=1 . > $(BENCH_OUT)
 	@grep -o '"Output":".*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | grep '^Benchmark' || true
 	@echo "wrote $(BENCH_OUT)"
+
+# Diff two bench recordings; fails on >15% ns/op regressions. By default
+# the two newest BENCH_*.json are compared; override with OLD=/NEW=.
+benchcmp:
+	$(GO) run ./cmd/benchdiff $(if $(OLD),-old $(OLD)) $(if $(NEW),-new $(NEW))
 
 clean:
 	rm -f BENCH_*.json

@@ -235,6 +235,75 @@ func BenchmarkClusterQuickstart(b *testing.B) {
 	}
 }
 
+// Sweep engine: multi-seed fan-out over the worker pool. The Serial/
+// Parallel pair measures the speedup of sharding independent seeds across
+// cores (identical results by the sweep determinism contract).
+
+func benchSweepRider(b *testing.B, workers int) {
+	trust := quorum.NewThreshold(4, 1)
+	sw := harness.Sweeper{Workers: workers}
+	seeds := sim.SeedRange(0, 16)
+	correct := types.FullSet(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := sw.SweepRider(seeds, func(seed int64) harness.RiderConfig {
+			return harness.RiderConfig{
+				Kind: harness.Asymmetric, Trust: trust, NumWaves: 6, TxPerBlock: 2,
+				Seed: seed, CoinSeed: seed*13 + 1,
+			}
+		}, func(res harness.RiderResult) error { return res.CheckTotalOrder(correct) })
+		if stats.Failures > 0 {
+			b.Fatal(stats.First)
+		}
+	}
+	b.ReportMetric(float64(len(seeds))*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+func BenchmarkSweepRiderSerial(b *testing.B)   { benchSweepRider(b, 1) }
+func BenchmarkSweepRiderParallel(b *testing.B) { benchSweepRider(b, 0) }
+
+func benchSweepGather(b *testing.B, workers int) {
+	sys := quorum.Counterexample()
+	sw := harness.Sweeper{Workers: workers}
+	seeds := sim.SeedRange(0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := sw.SweepGather(seeds, func(seed int64) gather.RunConfig {
+			return gather.RunConfig{
+				Kind: gather.KindConstantRound, Trust: sys, Mode: gather.UsePlain,
+				Latency: sim.UniformLatency{Min: 1, Max: 20}, Seed: seed,
+			}
+		}, nil)
+		if stats.CommonCores != stats.Runs {
+			b.Fatalf("common core missing in %d/%d runs", stats.Runs-stats.CommonCores, stats.Runs)
+		}
+	}
+	b.ReportMetric(float64(len(seeds))*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+func BenchmarkSweepGatherSerial(b *testing.B)   { benchSweepGather(b, 1) }
+func BenchmarkSweepGatherParallel(b *testing.B) { benchSweepGather(b, 0) }
+
+// ABBA sweep: agreement checked on every seed.
+func BenchmarkSweepABBA(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	sw := harness.Sweeper{}
+	seeds := sim.SeedRange(0, 16)
+	var last harness.ABBASweepStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = sw.SweepABBA(seeds, func(seed int64) harness.ABBAConfig {
+			return harness.ABBAConfig{Trust: trust, Seed: seed, CoinSeed: seed + 7}
+		}, nil)
+		if last.Failures > 0 {
+			b.Fatal(last.First)
+		}
+	}
+	if last.Decided > 0 {
+		b.ReportMetric(float64(last.TotalRounds)/float64(last.Decided), "rounds/decision")
+	}
+}
+
 // Micro-benchmarks of the substrate hot paths. ---------------------------
 
 func BenchmarkSetIntersects(b *testing.B) {

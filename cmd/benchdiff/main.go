@@ -1,0 +1,197 @@
+// Command benchdiff compares two benchmark recordings produced by
+// `make bench` (BENCH_<date>.json, a `go test -json` stream) and fails on
+// performance regressions: it exits non-zero if any benchmark's ns/op
+// grew by more than the threshold (default 15%).
+//
+// Usage:
+//
+//	benchdiff -old BENCH_2026-07-01.json -new BENCH_2026-07-26.json
+//	benchdiff -threshold 10
+//	benchdiff            # diffs the two newest BENCH_*.json in -dir
+//
+// Wired into the build as `make benchcmp`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline recording (default: second-newest BENCH_*.json in -dir)")
+	newPath := flag.String("new", "", "candidate recording (default: newest BENCH_*.json in -dir)")
+	dir := flag.String("dir", ".", "directory searched when -old/-new are omitted")
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op growth in percent")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		o, n, err := latestPair(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *oldPath == "" {
+			*oldPath = o
+		}
+		if *newPath == "" {
+			*newPath = n
+		}
+	}
+
+	oldNs, err := parseRecording(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newNs, err := parseRecording(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", *oldPath, *newPath, *threshold)
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		if _, ok := newNs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	for _, name := range names {
+		o, n := oldNs[name], newNs[name]
+		deltaPct := (n - o) / o * 100
+		marker := ""
+		if deltaPct > *threshold {
+			marker = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-48s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, deltaPct, marker)
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Printf("%-48s %14s %14.0f     (new)\n", name, "-", newNs[name])
+		}
+	}
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Printf("%-48s %14.0f %14s     (removed)\n", name, oldNs[name], "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared, no ns/op regression above %.0f%%\n", len(names), *threshold)
+}
+
+// latestPair returns the two newest BENCH_*.json files by name (the name
+// embeds the date, so lexicographic order is chronological).
+func latestPair(dir string) (oldest, newest string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("benchdiff: need two BENCH_*.json recordings in %s (found %d); pass -old/-new explicitly", dir, len(matches))
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}
+
+// cpuSuffix strips the -<GOMAXPROCS> tail go test appends to benchmark
+// names, so recordings from differently-sized machines still line up.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseRecording extracts ns/op per benchmark from a `go test -json`
+// stream. Benchmark result lines can be split across several Output
+// events, so the events are concatenated per package before scanning. If a
+// benchmark appears multiple times (-count > 1), the minimum is kept —
+// the standard "best of" noise reduction.
+func parseRecording(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type event struct {
+		Action  string
+		Package string
+		Output  string
+	}
+	outputs := map[string]*strings.Builder{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := outputs[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	ns := map[string]float64{}
+	for _, b := range outputs {
+		for _, line := range strings.Split(b.String(), "\n") {
+			name, value, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			if prev, seen := ns[name]; !seen || value < prev {
+				ns[name] = value
+			}
+		}
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return ns, nil
+}
+
+// parseBenchLine extracts (name, ns/op) from one textual benchmark result
+// line, e.g. "BenchmarkFoo-8   	  1234	  56789 ns/op	 12 B/op".
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	for i := 2; i < len(fields); i++ {
+		if fields[i] == "ns/op" && i > 0 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return cpuSuffix.ReplaceAllString(fields[0], ""), v, true
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, v, ok := parseBenchLine("BenchmarkRiderAsymmetric4-8 \t     100\t  12345678 ns/op\t  42 B/op")
+	if !ok || name != "BenchmarkRiderAsymmetric4" || v != 12345678 {
+		t.Fatalf("got %q %v %v", name, v, ok)
+	}
+	if _, _, ok := parseBenchLine("goos: linux"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkNoResult"); ok {
+		t.Error("result-less benchmark line parsed")
+	}
+	// Custom metrics after ns/op must not confuse the parser.
+	name, v, ok = parseBenchLine("BenchmarkCommitWaves-4 \t 7 \t 99 ns/op \t 1.50 waves/commit")
+	if !ok || name != "BenchmarkCommitWaves" || v != 99 {
+		t.Fatalf("got %q %v %v", name, v, ok)
+	}
+}
+
+// writeRecording emits a minimal go test -json stream with one benchmark
+// result split across two Output events (as real streams do).
+func writeRecording(t *testing.T, path string, ns int) {
+	t.Helper()
+	content := `{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkSplit-8 \t"}
+{"Action":"output","Package":"repro","Output":"     100\t  ` + itoa(ns) + ` ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkWhole-8 \t 50 \t 2000 ns/op\n"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestParseRecordingJoinsSplitOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_a.json")
+	writeRecording(t, path, 1000)
+	ns, err := parseRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns["BenchmarkSplit"] != 1000 || ns["BenchmarkWhole"] != 2000 {
+		t.Fatalf("parsed %v", ns)
+	}
+}
+
+func TestLatestPair(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-07-01.json", "BENCH_2026-07-26.json", "BENCH_2026-06-15.json"} {
+		writeRecording(t, filepath.Join(dir, name), 100)
+	}
+	o, n, err := latestPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(o) != "BENCH_2026-07-01.json" || filepath.Base(n) != "BENCH_2026-07-26.json" {
+		t.Fatalf("pair = %s, %s", o, n)
+	}
+	if _, _, err := latestPair(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}

@@ -7,6 +7,11 @@
 //	experiments -list             list all experiment IDs
 //	experiments -run fig4         run one experiment
 //	experiments -run all          run everything in paper order
+//	experiments -run faults -workers 2
+//
+// The multi-seed experiments (smallsys, waves, compare, faults) fan their
+// runs out over all cores through the sim.Sweep engine; -workers caps the
+// pool. Results are identical for every worker count.
 package main
 
 import (
@@ -20,7 +25,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	workers := flag.Int("workers", 0, "cap sweep parallelism (0 = all cores)")
 	flag.Parse()
+
+	harness.DefaultSweepWorkers = *workers
 
 	if *list {
 		for _, e := range harness.AllWithExtensions() {

@@ -8,6 +8,7 @@
 //	quorumtool -system threshold -n 7 -f 2
 //	quorumtool -system federated -n 12 -top 7 -tol 2
 //	quorumtool -system counterexample -faulty 3,17,29
+//	quorumtool -system random -n 10 -search 500
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/quorum"
+	"repro/internal/sim"
 	"repro/internal/types"
 )
 
@@ -31,7 +33,14 @@ func main() {
 	faultyFlag := flag.String("faulty", "", "comma-separated 1-based faulty process list for guild analysis")
 	kernels := flag.Bool("kernels", false, "enumerate minimal kernels of p1")
 	matrix := flag.Bool("matrix", false, "render the Figure 1 style matrix")
+	search := flag.Int("search", 0, "sweep this many generator seeds (starting at -seed) instead of inspecting one system")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *search > 0 {
+		searchSystems(*system, *n, *f, *top, *tol, *seed, *search, *workers)
+		return
+	}
 
 	sys, err := buildSystem(*system, *n, *f, *top, *tol, *seed)
 	if err != nil {
@@ -72,6 +81,64 @@ func main() {
 		for _, k := range ks {
 			fmt.Printf("  %v\n", k)
 		}
+	}
+}
+
+// searchSystems sweeps generator seeds in parallel (sim.Sweep) and
+// tabulates how the family behaves: how many seeds yield valid systems,
+// how many satisfy B3, and the observed range of the smallest quorum size
+// c(Q). The aggregation runs in seed order, so the report is identical for
+// every worker count.
+func searchSystems(kind string, n, f, top, tol int, start int64, count, workers int) {
+	type probe struct {
+		built bool
+		err   error
+		b3    bool
+		minQ  int
+	}
+	res := sim.Sweep(sim.SeedRange(start, count), workers, func(seed int64) probe {
+		sys, err := buildSystem(kind, n, f, top, tol, seed)
+		if err != nil {
+			return probe{err: err}
+		}
+		return probe{built: true, b3: sys.SatisfiesB3(), minQ: sys.SmallestQuorumSize()}
+	})
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	type tally struct {
+		built, b3       int
+		minQ, maxQ      int
+		firstFailedSeed int64
+		firstErr        error
+	}
+	agg := sim.Reduce(res, tally{minQ: 1 << 30, firstFailedSeed: -1}, func(acc tally, seed int64, p probe) tally {
+		if !p.built {
+			if acc.firstFailedSeed < 0 {
+				acc.firstFailedSeed, acc.firstErr = seed, p.err
+			}
+			return acc
+		}
+		acc.built++
+		if p.b3 {
+			acc.b3++
+		}
+		if p.minQ < acc.minQ {
+			acc.minQ = p.minQ
+		}
+		if p.minQ > acc.maxQ {
+			acc.maxQ = p.minQ
+		}
+		return acc
+	})
+	fmt.Printf("search: %s, n=%d, seeds %d..%d\n", kind, n, start, start+int64(count)-1)
+	fmt.Printf("valid systems: %d/%d (B3 satisfied: %d)\n", agg.built, count, agg.b3)
+	if agg.built > 0 {
+		fmt.Printf("smallest quorum c(Q): min %d, max %d\n", agg.minQ, agg.maxQ)
+	}
+	if agg.firstFailedSeed >= 0 {
+		fmt.Printf("first failing seed: %d (%v)\n", agg.firstFailedSeed, agg.firstErr)
 	}
 }
 

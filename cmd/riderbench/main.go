@@ -1,12 +1,15 @@
 // Command riderbench sweeps the consensus protocols across parameters and
 // emits CSV for plotting: per-run commit counts, delivered transactions,
-// virtual-time latency, and message/byte costs.
+// virtual-time latency, and message/byte costs. The seed sweep fans out
+// over a worker pool (sim.Sweep); rows are emitted in seed order and a
+// summary line with the per-run means goes to stderr, both independent of
+// the worker count.
 //
 // Usage:
 //
 //	riderbench -kind asymmetric -system threshold -n 7 -f 2 -waves 10 -seeds 5
 //	riderbench -kind symmetric  -system threshold -n 4 -f 1 -tx 8
-//	riderbench -kind asymmetric -system counterexample -waves 4
+//	riderbench -kind asymmetric -system counterexample -waves 4 -workers 2
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/quorum"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 	waves := flag.Int("waves", 10, "waves per run")
 	seeds := flag.Int("seeds", 3, "seeds per configuration")
 	tx := flag.Int("tx", 4, "transactions per block")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var trust quorum.Assumption
@@ -55,21 +60,51 @@ func main() {
 		kind = harness.Symmetric
 	}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	_ = w.Write([]string{"kind", "system", "n", "seed", "waves", "max_commits", "median_tx", "vtime", "messages", "bytes"})
-	for seed := int64(0); seed < int64(*seeds); seed++ {
-		res := harness.RunRider(harness.RiderConfig{
+	// Fan the per-seed runs out over the worker pool; records come back
+	// positioned by seed, so the CSV is identical to the old serial loop
+	// for every worker count.
+	type record struct {
+		row          []string
+		commits, med int
+		vtime        int64
+		msgs         int
+	}
+	res := sim.Sweep(sim.SeedRange(0, *seeds), *workers, func(seed int64) record {
+		r := harness.RunRider(harness.RiderConfig{
 			Kind: kind, Trust: trust, NumWaves: *waves, TxPerBlock: *tx,
 			Seed: seed, CoinSeed: seed * 101,
 		})
-		commits, med := summarize(res)
-		_ = w.Write([]string{
-			kind.String(), *system, strconv.Itoa(trust.N()), strconv.FormatInt(seed, 10),
-			strconv.Itoa(*waves), strconv.Itoa(commits), strconv.Itoa(med),
-			strconv.FormatInt(int64(res.EndTime), 10),
-			strconv.Itoa(res.Metrics.MessagesSent), strconv.Itoa(res.Metrics.BytesSent),
-		})
+		commits, med := summarize(r)
+		return record{
+			row: []string{
+				kind.String(), *system, strconv.Itoa(trust.N()), strconv.FormatInt(seed, 10),
+				strconv.Itoa(*waves), strconv.Itoa(commits), strconv.Itoa(med),
+				strconv.FormatInt(int64(r.EndTime), 10),
+				strconv.Itoa(r.Metrics.MessagesSent), strconv.Itoa(r.Metrics.BytesSent),
+			},
+			commits: commits, med: med, vtime: int64(r.EndTime), msgs: r.Metrics.MessagesSent,
+		}
+	})
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"kind", "system", "n", "seed", "waves", "max_commits", "median_tx", "vtime", "messages", "bytes"})
+	sum := sim.Reduce(res, record{}, func(acc record, _ int64, r record) record {
+		_ = w.Write(r.row)
+		acc.commits += r.commits
+		acc.med += r.med
+		acc.vtime += r.vtime
+		acc.msgs += r.msgs
+		return acc
+	})
+	if runs := len(res.Values); runs > 0 {
+		fr := float64(runs)
+		fmt.Fprintf(os.Stderr, "summary: %d runs, mean commits %.1f, mean median-tx %.1f, mean vtime %.0f, mean msgs %.0f\n",
+			runs, float64(sum.commits)/fr, float64(sum.med)/fr, float64(sum.vtime)/fr, float64(sum.msgs)/fr)
 	}
 }
 

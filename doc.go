@@ -21,6 +21,14 @@
 //     the HasQuorumWithin / HasKernelWithin triggers in O(1) amortized per
 //     delivered message instead of re-scanning the quorum collection. See
 //     internal/quorum/engine.go for the design and complexity bounds.
+//   - A parallel multi-seed sweep engine (internal/sim Sweep/Reduce and
+//     the internal/harness Sweeper): independent seeded executions fan out
+//     over a bounded worker pool with deterministic, worker-count-
+//     independent aggregation — results positioned by seed, reductions in
+//     seed order, panics attributed to the offending seed. It powers the
+//     randomized protocol-property conformance suites (hundreds of random
+//     trust systems per `go test ./...`), the multi-seed experiments, and
+//     the cmd/riderbench and cmd/quorumtool search paths.
 //
 // # Quickstart
 //

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -125,14 +124,23 @@ func counterexampleSchedule(sys *quorum.System) sim.LatencyModel {
 	return sim.FavoredLinksLatency{Favored: fav, Fast: 1, Slow: 100000}
 }
 
+// smallSystemTrial is one ExpSmallSystems probe: build a random system
+// below 16 processes and test the 3-round merge for a common core.
+type smallSystemTrial struct {
+	built     bool
+	violation bool
+	coreCount int
+}
+
 // ExpSmallSystems searches random valid asymmetric systems below 16
 // processes for a common-core violation of the 3-round merge (the paper
-// proves none exists).
+// proves none exists). The search fans out over all cores via sim.Sweep;
+// every trial's parameters derive from its own seed, so the result is
+// reproducible and worker-count independent.
 func ExpSmallSystems() string {
-	rng := rand.New(rand.NewSource(7))
-	trials, violations, built := 400, 0, 0
-	minCore := 1 << 30
-	for t := 0; t < trials; t++ {
+	const trials = 400
+	res := sim.Sweep(sim.SeedRange(1, trials), DefaultSweepWorkers, func(seed int64) smallSystemTrial {
+		rng := rand.New(rand.NewSource(seed))
 		n := 4 + rng.Intn(12)
 		sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
 			N:        n,
@@ -141,23 +149,33 @@ func ExpSmallSystems() string {
 			Seed:     rng.Int63(),
 		})
 		if err != nil {
-			continue
+			return smallSystemTrial{}
 		}
-		built++
 		choice := gather.CanonicalChoice(sys)
 		u := gather.RoundSets(n, choice, 3)
 		c := gather.CommonCoreCandidates(n, choice, u)
-		if c.IsEmpty() {
-			violations++
-		} else if c.Count() < minCore {
-			minCore = c.Count()
-		}
+		return smallSystemTrial{built: true, violation: c.IsEmpty(), coreCount: c.Count()}
+	})
+	type tally struct {
+		built, violations, minCore int
 	}
+	agg := sim.Reduce(res, tally{minCore: 1 << 30}, func(acc tally, _ int64, t smallSystemTrial) tally {
+		if !t.built {
+			return acc
+		}
+		acc.built++
+		if t.violation {
+			acc.violations++
+		} else if t.coreCount < acc.minCore {
+			acc.minCore = t.coreCount
+		}
+		return acc
+	})
 	return fmt.Sprintf(
 		"random systems with 4..15 processes: %d built, %d violations of the common core after 3 rounds\n"+
 			"(paper §3.2: any system with <16 processes always satisfies the common core)\n"+
 			"smallest candidate count observed: %d\n",
-		built, violations, minCore)
+		agg.built, agg.violations, agg.minCore)
 }
 
 // ExpLogRounds measures how many quorum-merge rounds the counterexample
@@ -244,21 +262,13 @@ func ExpCommitWaves() string {
 		if qs, ok := s.trust.(quorum.QuorumSizer); ok {
 			cq = qs.SmallestQuorumSize()
 		}
-		totalWaves, totalCommits := 0, 0
-		for seed := int64(0); seed < int64(s.seeds); seed++ {
-			res := RunRider(RiderConfig{
+		stats := Sweeper{Workers: DefaultSweepWorkers}.SweepRider(sim.SeedRange(0, s.seeds), func(seed int64) RiderConfig {
+			return RiderConfig{
 				Kind: Asymmetric, Trust: s.trust, NumWaves: s.waves,
 				Seed: seed, CoinSeed: seed*31 + 7,
-			})
-			for _, nr := range res.Nodes {
-				totalWaves += s.waves
-				totalCommits += len(nr.Commits)
 			}
-		}
-		mean := 0.0
-		if totalCommits > 0 {
-			mean = float64(totalWaves) / float64(totalCommits)
-		}
+		}, nil)
+		mean, _ := stats.WavesPerCommit()
 		bound := float64(n) / float64(cq)
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.2f\t%.2f\n",
 			s.name, n, cq, bound, mean, 1/mean)
@@ -270,11 +280,15 @@ func ExpCommitWaves() string {
 }
 
 // ExpProtocolComparison compares the symmetric baseline with the
-// asymmetric protocol on identical threshold systems (E8).
+// asymmetric protocol on identical threshold systems (E8). Each row is a
+// parallel 8-seed sweep; the reported quantities are per-run means, which
+// removes the single-schedule noise of the old one-seed comparison.
 func ExpProtocolComparison() string {
+	const seedsPerRow = 8
+	sw := Sweeper{Workers: DefaultSweepWorkers}
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "system\tprotocol\twaves\tcommits\ttx delivered\tvtime\ttx/vtime\tmessages\tbytes")
+	fmt.Fprintln(w, "system\tprotocol\twaves\tseeds\tcommits\ttx delivered\tvtime\ttx/vtime\tmessages\tbytes")
 	for _, spec := range []struct {
 		name string
 		n, f int
@@ -284,25 +298,19 @@ func ExpProtocolComparison() string {
 	} {
 		for _, kind := range []RiderKind{Symmetric, Asymmetric} {
 			trust := quorum.NewThreshold(spec.n, spec.f)
-			res := RunRider(RiderConfig{
-				Kind: kind, Trust: trust, NumWaves: 10, TxPerBlock: 4,
-				Seed: 3, CoinSeed: 17,
-			})
-			// Report the median node by delivered blocks.
-			var counts []int
-			commits := 0
-			for _, nr := range res.Nodes {
-				counts = append(counts, len(nr.Blocks))
-				if len(nr.Commits) > commits {
-					commits = len(nr.Commits)
+			stats := sw.SweepRider(sim.SeedRange(1, seedsPerRow), func(seed int64) RiderConfig {
+				return RiderConfig{
+					Kind: kind, Trust: trust, NumWaves: 10, TxPerBlock: 4,
+					Seed: seed, CoinSeed: seed*17 + 3,
 				}
-			}
-			sort.Ints(counts)
-			med := counts[len(counts)/2]
-			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%.3f\t%d\t%d\n",
-				spec.name, kind, 10, commits, med, res.EndTime,
-				float64(med)/float64(res.EndTime),
-				res.Metrics.MessagesSent, res.Metrics.BytesSent)
+			}, nil)
+			runs := float64(stats.Runs)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%.1f\t%.0f\t%.3f\t%.0f\t%.0f\n",
+				spec.name, kind, 10, stats.Runs,
+				float64(stats.MaxCommits)/runs, float64(stats.MedianBlocks)/runs,
+				float64(stats.EndTime)/runs,
+				float64(stats.MedianBlocks)/float64(stats.EndTime),
+				float64(stats.Metrics.MessagesSent)/runs, float64(stats.Metrics.BytesSent)/runs)
 		}
 	}
 	w.Flush()
@@ -312,47 +320,54 @@ func ExpProtocolComparison() string {
 }
 
 // ExpFaults exercises the Definition 4.1 properties under crash and
-// Byzantine-mute faults inside fail-prone sets (E9).
+// Byzantine-mute faults inside fail-prone sets (E9). Each scenario is a
+// parallel 12-seed sweep: total order, agreement and integrity are checked
+// on every run, and a violation is reported with its seed.
 func ExpFaults() string {
+	const seedsPerScenario = 12
+	sw := Sweeper{Workers: DefaultSweepWorkers}
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "scenario\tguild size\tcommitted\ttotal order\tagreement\tintegrity")
+	fmt.Fprintln(w, "scenario\tguild size\tseeds ok\tcommitted nodes\tproperties")
 
-	report := func(name string, res RiderResult, within types.Set) {
-		committed := 0
-		for _, p := range within.Members() {
-			if nr, ok := res.Nodes[p]; ok && nr.DecidedWave > 0 {
-				committed++
+	report := func(name string, within types.Set, mk func(seed int64) RiderConfig) {
+		stats := sw.SweepRider(sim.SeedRange(1, seedsPerScenario), mk, func(res RiderResult) error {
+			if err := res.CheckTotalOrder(within); err != nil {
+				return err
 			}
-		}
-		ok := func(err error) string {
-			if err != nil {
-				return "VIOLATED: " + err.Error()
+			if err := res.CheckAgreement(within); err != nil {
+				return err
 			}
-			return "ok"
+			return res.CheckIntegrity(within)
+		})
+		verdict := "ok"
+		if stats.First != nil {
+			verdict = "VIOLATED at " + stats.First.String()
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%s\t%s\t%s\n",
-			name, within.Count(), committed, within.Count(),
-			ok(res.CheckTotalOrder(within)), ok(res.CheckAgreement(within)), ok(res.CheckIntegrity(within)))
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d/%d\t%s\n",
+			name, within.Count(), stats.Seeds-stats.Failures, stats.Seeds,
+			stats.DecidedNodes, stats.Nodes, verdict)
 	}
 
-	// Crash one of threshold(4,1).
+	// Mute one of threshold(4,1).
 	trust41 := quorum.NewThreshold(4, 1)
-	res1 := RunRider(RiderConfig{
-		Kind: Asymmetric, Trust: trust41, NumWaves: 8, TxPerBlock: 1,
-		Seed: 1, CoinSeed: 1,
-		Faulty: map[types.ProcessID]sim.Node{3: sim.MuteNode{}},
+	report("threshold(4,1), 1 mute", types.NewSetOf(4, 0, 1, 2), func(seed int64) RiderConfig {
+		return RiderConfig{
+			Kind: Asymmetric, Trust: trust41, NumWaves: 8, TxPerBlock: 1,
+			Seed: seed, CoinSeed: seed,
+			Faulty: map[types.ProcessID]sim.Node{3: sim.MuteNode{}},
+		}
 	})
-	report("threshold(4,1), 1 mute", res1, types.NewSetOf(4, 0, 1, 2))
 
-	// Crash two of threshold(7,2).
+	// Mute two of threshold(7,2).
 	trust72 := quorum.NewThreshold(7, 2)
-	res2 := RunRider(RiderConfig{
-		Kind: Asymmetric, Trust: trust72, NumWaves: 8, TxPerBlock: 1,
-		Seed: 2, CoinSeed: 2,
-		Faulty: map[types.ProcessID]sim.Node{5: sim.MuteNode{}, 6: sim.MuteNode{}},
+	report("threshold(7,2), 2 mute", types.NewSetOf(7, 0, 1, 2, 3, 4), func(seed int64) RiderConfig {
+		return RiderConfig{
+			Kind: Asymmetric, Trust: trust72, NumWaves: 8, TxPerBlock: 1,
+			Seed: seed, CoinSeed: seed,
+			Faulty: map[types.ProcessID]sim.Node{5: sim.MuteNode{}, 6: sim.MuteNode{}},
+		}
 	})
-	report("threshold(7,2), 2 mute", res2, types.NewSetOf(7, 0, 1, 2, 3, 4))
 
 	// Genuinely asymmetric system with faults inside a fail-prone set:
 	// p1..p6 tolerate {p7} or {p8}; p7,p8 additionally tolerate {p2,p3}.
@@ -371,12 +386,13 @@ func ExpFaults() string {
 	sys, err := quorum.Canonical(n, failProne)
 	if err == nil && sys.Validate() == nil {
 		guild := sys.MaximalGuild(fp1)
-		res3 := RunRider(RiderConfig{
-			Kind: Asymmetric, Trust: sys, NumWaves: 6, TxPerBlock: 1,
-			Seed: 3, CoinSeed: 3,
-			Faulty: map[types.ProcessID]sim.Node{6: sim.MuteNode{}},
+		report(fmt.Sprintf("asym(8), mute %v", fp1), guild, func(seed int64) RiderConfig {
+			return RiderConfig{
+				Kind: Asymmetric, Trust: sys, NumWaves: 6, TxPerBlock: 1,
+				Seed: seed, CoinSeed: seed,
+				Faulty: map[types.ProcessID]sim.Node{6: sim.MuteNode{}},
+			}
 		})
-		report(fmt.Sprintf("asym(8), mute %v", fp1), res3, guild)
 	}
 	w.Flush()
 	b.WriteString("\npaper Definition 4.1: agreement, total order and integrity hold for the maximal guild\n" +

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/quorum"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Determinism regressions: the simulator's reproducibility contract (same
+// seed ⇒ identical execution) and the sweep engine's worker-count
+// independence, pinned at the protocol level.
+
+// TestSameSeedIdenticalMetrics runs the full consensus stack twice with
+// the same seed and requires bit-identical metrics: message count, byte
+// count and the per-type breakdown.
+func TestSameSeedIdenticalMetrics(t *testing.T) {
+	run := func() RiderResult {
+		return RunRider(RiderConfig{
+			Kind: Asymmetric, Trust: quorum.NewThreshold(4, 1), NumWaves: 6,
+			TxPerBlock: 2, Seed: 11, CoinSeed: 13,
+		})
+	}
+	a, b := run(), run()
+	if a.Metrics.MessagesSent != b.Metrics.MessagesSent ||
+		a.Metrics.MessagesDelivered != b.Metrics.MessagesDelivered ||
+		a.Metrics.MessagesDropped != b.Metrics.MessagesDropped ||
+		a.Metrics.BytesSent != b.Metrics.BytesSent {
+		t.Fatalf("same seed, different scalar metrics:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if !reflect.DeepEqual(a.Metrics.ByType, b.Metrics.ByType) {
+		t.Fatalf("same seed, different per-type counts:\n%v\n%v", a.Metrics.ByType, b.Metrics.ByType)
+	}
+	if a.EndTime != b.EndTime {
+		t.Fatalf("same seed, different end times: %d vs %d", a.EndTime, b.EndTime)
+	}
+	for p, na := range a.Nodes {
+		nb := b.Nodes[p]
+		if len(na.Deliveries) != len(nb.Deliveries) {
+			t.Fatalf("node %v delivered %d vs %d vertices", p, len(na.Deliveries), len(nb.Deliveries))
+		}
+		for i := range na.Deliveries {
+			if na.Deliveries[i].Ref != nb.Deliveries[i].Ref {
+				t.Fatalf("node %v delivery %d differs: %v vs %v", p, i, na.Deliveries[i].Ref, nb.Deliveries[i].Ref)
+			}
+		}
+	}
+}
+
+// riderSweepStats renders a sweep's aggregate to a string so worker-count
+// comparisons are byte-level (the satellite acceptance criterion).
+func riderSweepRender(t *testing.T, workers int) (RiderSweepStats, string) {
+	t.Helper()
+	trust := quorum.NewThreshold(4, 1)
+	correct := types.FullSet(4)
+	stats := Sweeper{Workers: workers}.SweepRider(sim.SeedRange(1, 12), func(seed int64) RiderConfig {
+		return RiderConfig{
+			Kind: Asymmetric, Trust: trust, NumWaves: 5, TxPerBlock: 1,
+			Seed: seed, CoinSeed: seed * 7,
+		}
+	}, func(res RiderResult) error { return res.CheckTotalOrder(correct) })
+	scalars := stats
+	scalars.Metrics = nil // pointer identity must not leak into the render
+	return stats, fmt.Sprintf("%+v|%+v", scalars, *stats.Metrics)
+}
+
+// TestSweepRiderWorkerCountIndependence: identical aggregated stats —
+// including merged metrics and first-failure bookkeeping — for worker
+// counts 1, 2 and GOMAXPROCS.
+func TestSweepRiderWorkerCountIndependence(t *testing.T) {
+	base, serial := riderSweepRender(t, 1)
+	if base.Failures > 0 {
+		t.Fatalf("baseline sweep failed: %s", base.First)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		stats, got := riderSweepRender(t, workers)
+		if !reflect.DeepEqual(base, stats) {
+			t.Errorf("stats differ between 1 and %d workers:\n%+v\n%+v", workers, base, stats)
+		}
+		if got != serial {
+			t.Errorf("rendered stats differ between 1 and %d workers:\n%s\n%s", workers, serial, got)
+		}
+	}
+}
+
+// TestSweepReportsFirstFailingSeed plants a check that rejects two known
+// seeds and requires the sweeper to name the earlier one.
+func TestSweepReportsFirstFailingSeed(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	for _, workers := range []int{1, 3} {
+		stats := Sweeper{Workers: workers}.SweepRider(sim.SeedRange(1, 10), func(seed int64) RiderConfig {
+			return RiderConfig{Kind: Asymmetric, Trust: trust, NumWaves: 2, Seed: seed, CoinSeed: seed}
+		}, func(res RiderResult) error {
+			if res.Config.Seed == 4 || res.Config.Seed == 7 {
+				return fmt.Errorf("planted failure")
+			}
+			return nil
+		})
+		if stats.Failures != 2 {
+			t.Fatalf("workers=%d: failures = %d, want 2", workers, stats.Failures)
+		}
+		if stats.First == nil || stats.First.Seed != 4 {
+			t.Fatalf("workers=%d: first failure = %v, want seed 4", workers, stats.First)
+		}
+	}
+}
+
+// TestSweepRiderSurfacesPanicSeed: a panicking run must be attributed to
+// its seed, not tear the sweep down.
+func TestSweepRiderSurfacesPanicSeed(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	stats := Sweeper{Workers: 2}.SweepRider(sim.SeedRange(1, 6), func(seed int64) RiderConfig {
+		if seed == 3 {
+			panic("planted panic")
+		}
+		return RiderConfig{Kind: Asymmetric, Trust: trust, NumWaves: 2, Seed: seed, CoinSeed: seed}
+	}, nil)
+	if stats.Runs != 5 {
+		t.Fatalf("runs = %d, want 5 completed", stats.Runs)
+	}
+	if stats.Failures != 1 || stats.First == nil || stats.First.Seed != 3 {
+		t.Fatalf("panic not attributed: failures=%d first=%v", stats.Failures, stats.First)
+	}
+}
+
+// TestRunABBAAndSweep exercises the ABBA runner: deterministic per seed,
+// unanimity checked by the sweep itself.
+func TestRunABBAAndSweep(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	cfg := ABBAConfig{Trust: trust, Seed: 5, CoinSeed: 9}
+	a, b := RunABBA(cfg), RunABBA(cfg)
+	if !reflect.DeepEqual(a.Decisions, b.Decisions) || !reflect.DeepEqual(a.Metrics.ByType, b.Metrics.ByType) {
+		t.Fatalf("same seed, different ABBA outcome:\n%+v\n%+v", a, b)
+	}
+	if err := a.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := Sweeper{}.SweepABBA(sim.SeedRange(1, 8), func(seed int64) ABBAConfig {
+		return ABBAConfig{Trust: trust, Seed: seed, CoinSeed: seed + 1}
+	}, nil)
+	if stats.Failures > 0 {
+		t.Fatalf("ABBA sweep failed: %s", stats.First)
+	}
+	if stats.Decided != 8*4 {
+		t.Fatalf("decided %d processes, want %d", stats.Decided, 8*4)
+	}
+}
+
+// TestCheckAgreementDetectsDisagreement pins the ABBA checker itself.
+func TestCheckAgreementDetectsDisagreement(t *testing.T) {
+	r := ABBAResult{Decisions: map[types.ProcessID]int{0: 0, 1: 1}, Rounds: map[types.ProcessID]int{0: 1, 1: 1}}
+	if err := r.CheckAgreement(); err == nil {
+		t.Fatal("disagreement not detected")
+	}
+	r = ABBAResult{Decisions: map[types.ProcessID]int{0: 1}, Undecided: 2}
+	if err := r.CheckAgreement(); err == nil {
+		t.Fatal("undecided processes not detected")
+	}
+}

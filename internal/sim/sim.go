@@ -9,6 +9,19 @@
 // a pluggable (possibly adversarial) latency model, and all randomness is
 // drawn from a single seeded source — so every execution is reproducible
 // from its seed.
+//
+// # Sweep determinism contract
+//
+// Executions with different seeds are independent, and Sweep (sweep.go)
+// runs them on a bounded worker pool. The contract: a sweep's observable
+// output is a pure function of the seed slice and the per-seed closure —
+// never of the worker count or of run completion order. Results are
+// positioned by seed, Reduce folds them in seed order, and panics are
+// attributed to the offending seed. Consequently any aggregate built
+// through Reduce/MergeMetrics (statistics, first failing seed, ordered
+// rows) is byte-identical for 1 worker, 2 workers, or GOMAXPROCS workers —
+// which is what lets the randomized conformance suites fan out across
+// cores while staying reproducible from a single integer.
 package sim
 
 import (
@@ -291,6 +304,13 @@ func (e env) Broadcast(msg Message) {
 }
 
 func (r *Runner) send(from, to types.ProcessID, msg Message) {
+	// Filtered messages never reach the network: they count only as
+	// MessagesDropped, not towards MessagesSent/BytesSent/ByType, so
+	// experiment metrics reflect actual traffic.
+	if r.cfg.Filter != nil && !r.cfg.Filter(from, to, msg) {
+		r.metrics.MessagesDropped++
+		return
+	}
 	r.metrics.MessagesSent++
 	t := reflect.TypeOf(msg)
 	tc, ok := r.typeCounts[t]
@@ -303,10 +323,6 @@ func (r *Runner) send(from, to types.ProcessID, msg Message) {
 		r.metrics.BytesSent += s.SimSize()
 	} else {
 		r.metrics.BytesSent++
-	}
-	if r.cfg.Filter != nil && !r.cfg.Filter(from, to, msg) {
-		r.metrics.MessagesDropped++
-		return
 	}
 	d := r.cfg.Latency.Delay(from, to, msg, r.now, r.rng)
 	if d < 0 {
