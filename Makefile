@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench benchcmp clean
+.PHONY: all build test vet bench benchcmp search clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -34,6 +34,11 @@ bench:
 # the two newest BENCH_*.json are compared; override with OLD=/NEW=.
 benchcmp:
 	$(GO) run ./cmd/benchdiff $(if $(OLD),-old $(OLD)) $(if $(NEW),-new $(NEW))
+
+# Smoke-test the batch analysis search path: a parallel random-system
+# sweep through quorum.AnalyzeSystem (the quorumtool -search mode).
+search:
+	$(GO) run ./cmd/quorumtool -system random -n 12 -search 50
 
 clean:
 	rm -f BENCH_*.json

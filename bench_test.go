@@ -328,6 +328,101 @@ func BenchmarkQuorumPredicateCounterexample(b *testing.B) {
 	}
 }
 
+// Analysis engine: the word-compiled Validate/SatisfiesB3 sweeps against
+// the retained naive nested-set-loop references, on an n=30 random
+// asymmetric system (the quorumtool -search shape). The compiled pair
+// must stay ≥2× ahead of its *Naive counterpart; make benchcmp guards
+// the compiled numbers across recordings.
+
+func analysisBenchSystem(b *testing.B) *quorum.System {
+	sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+		N: 30, NumSets: 2, MaxFault: 6, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Validate() // compile the evaluator outside the timed loop
+	return sys
+}
+
+func BenchmarkValidate(b *testing.B) {
+	sys := analysisBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sys.Validate() != nil {
+			b.Fatal("bench system must be valid")
+		}
+	}
+}
+
+func BenchmarkValidateNaive(b *testing.B) {
+	sys := analysisBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sys.ValidateNaive() != nil {
+			b.Fatal("bench system must be valid")
+		}
+	}
+}
+
+func BenchmarkSatisfiesB3(b *testing.B) {
+	sys := analysisBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.SatisfiesB3() {
+			b.Fatal("bench system must satisfy B3")
+		}
+	}
+}
+
+func BenchmarkSatisfiesB3Naive(b *testing.B) {
+	sys := analysisBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sys.SatisfiesB3Naive() {
+			b.Fatal("bench system must satisfy B3")
+		}
+	}
+}
+
+func BenchmarkAnalyzeSystem(b *testing.B) {
+	sys := analysisBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a := quorum.AnalyzeSystem(sys); !a.Valid || !a.B3 {
+			b.Fatal("bench system must analyze clean")
+		}
+	}
+}
+
+// BenchmarkSearch is the quorumtool -search inner loop: generate random
+// asymmetric systems across a parallel seed sweep and batch-analyze each.
+func BenchmarkSearch(b *testing.B) {
+	seeds := sim.SeedRange(1, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.Sweep(seeds, 0, func(seed int64) bool {
+			sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+				N: 12, NumSets: 2, MaxFault: 2, Seed: seed,
+			})
+			if err != nil {
+				return false
+			}
+			return quorum.AnalyzeSystem(sys).Valid
+		})
+		valid := sim.Reduce(res, 0, func(acc int, _ int64, ok bool) int {
+			if ok {
+				acc++
+			}
+			return acc
+		})
+		if valid == 0 {
+			b.Fatal("search produced no valid systems")
+		}
+	}
+	b.ReportMetric(float64(len(seeds))*float64(b.N)/b.Elapsed().Seconds(), "systems/s")
+}
+
 func BenchmarkReliableBroadcastRound(b *testing.B) {
 	trust := quorum.NewThreshold(4, 1)
 	for i := 0; i < b.N; i++ {

@@ -53,13 +53,8 @@ func main() {
 
 	if *matrix {
 		fmt.Println(quorum.RenderMatrix(sys.N(), "trust matrix (Q = quorum of row process, F = fail-prone)",
-			func(p types.ProcessID) types.Set { return sys.Quorums(p)[0] },
-			func(p types.ProcessID) types.Set {
-				if fps := sys.FailProneSets(p); len(fps) > 0 {
-					return fps[0]
-				}
-				return types.NewSet(sys.N())
-			}))
+			func(p types.ProcessID) types.Set { return firstOrEmpty(sys.Quorums(p), sys.N()) },
+			func(p types.ProcessID) types.Set { return firstOrEmpty(sys.FailProneSets(p), sys.N()) }))
 	}
 
 	if *faultyFlag != "" {
@@ -85,35 +80,39 @@ func main() {
 }
 
 // searchSystems sweeps generator seeds in parallel (sim.Sweep) and
-// tabulates how the family behaves: how many seeds yield valid systems,
-// how many satisfy B3, and the observed range of the smallest quorum size
-// c(Q). The aggregation runs in seed order, so the report is identical for
-// every worker count.
+// tabulates how the family behaves: how many seeds build, how many yield
+// valid systems, how many satisfy B3, and the observed range of the
+// smallest quorum size c(Q). Each built system is analyzed with the batch
+// quorum.AnalyzeSystem API — one evaluator compilation and one sweep per
+// system instead of separate Validate/SatisfiesB3/c(Q) passes. The
+// aggregation runs in seed order, so the report is identical for every
+// worker count.
 func searchSystems(kind string, n, f, top, tol int, start int64, count, workers int) {
 	type probe struct {
 		built bool
 		err   error
-		b3    bool
-		minQ  int
+		a     quorum.Analysis
 	}
 	res := sim.Sweep(sim.SeedRange(start, count), workers, func(seed int64) probe {
 		sys, err := buildSystem(kind, n, f, top, tol, seed)
 		if err != nil {
 			return probe{err: err}
 		}
-		return probe{built: true, b3: sys.SatisfiesB3(), minQ: sys.SmallestQuorumSize()}
+		return probe{built: true, a: quorum.AnalyzeSystem(sys)}
 	})
 	if err := res.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	type tally struct {
-		built, b3       int
-		minQ, maxQ      int
-		firstFailedSeed int64
-		firstErr        error
+		built, valid, b3 int
+		minQ, maxQ       int
+		firstFailedSeed  int64
+		firstErr         error
+		firstBadSeed     int64
+		firstBadWitness  string
 	}
-	agg := sim.Reduce(res, tally{minQ: 1 << 30, firstFailedSeed: -1}, func(acc tally, seed int64, p probe) tally {
+	agg := sim.Reduce(res, tally{minQ: 1 << 30, firstFailedSeed: -1, firstBadSeed: -1}, func(acc tally, seed int64, p probe) tally {
 		if !p.built {
 			if acc.firstFailedSeed < 0 {
 				acc.firstFailedSeed, acc.firstErr = seed, p.err
@@ -121,25 +120,52 @@ func searchSystems(kind string, n, f, top, tol int, start int64, count, workers 
 			return acc
 		}
 		acc.built++
-		if p.b3 {
+		if p.a.Valid {
+			acc.valid++
+		}
+		if p.a.B3 {
 			acc.b3++
 		}
-		if p.minQ < acc.minQ {
-			acc.minQ = p.minQ
+		if (!p.a.Valid || !p.a.B3) && acc.firstBadSeed < 0 {
+			acc.firstBadSeed = seed
+			if !p.a.Valid {
+				acc.firstBadWitness = p.a.Err.Error()
+			} else {
+				acc.firstBadWitness = p.a.B3Witness
+			}
 		}
-		if p.minQ > acc.maxQ {
-			acc.maxQ = p.minQ
+		if p.a.TotalQuorums > 0 {
+			if p.a.SmallestQuorum < acc.minQ {
+				acc.minQ = p.a.SmallestQuorum
+			}
+			if p.a.SmallestQuorum > acc.maxQ {
+				acc.maxQ = p.a.SmallestQuorum
+			}
 		}
 		return acc
 	})
 	fmt.Printf("search: %s, n=%d, seeds %d..%d\n", kind, n, start, start+int64(count)-1)
-	fmt.Printf("valid systems: %d/%d (B3 satisfied: %d)\n", agg.built, count, agg.b3)
-	if agg.built > 0 {
+	fmt.Printf("built: %d/%d, valid: %d, B3 satisfied: %d\n", agg.built, count, agg.valid, agg.b3)
+	if agg.built > 0 && agg.maxQ > 0 {
 		fmt.Printf("smallest quorum c(Q): min %d, max %d\n", agg.minQ, agg.maxQ)
+	}
+	if agg.firstBadSeed >= 0 {
+		fmt.Printf("first violation: seed %d (%s)\n", agg.firstBadSeed, agg.firstBadWitness)
 	}
 	if agg.firstFailedSeed >= 0 {
 		fmt.Printf("first failing seed: %d (%v)\n", agg.firstFailedSeed, agg.firstErr)
 	}
+}
+
+// firstOrEmpty returns the first set of a per-process collection, or the
+// empty set over universe n when the collection is empty — a process with
+// zero quorums (or fail-prone sets) must render as a blank matrix row,
+// not crash the tool.
+func firstOrEmpty(sets []types.Set, n int) types.Set {
+	if len(sets) > 0 {
+		return sets[0]
+	}
+	return types.NewSet(n)
 }
 
 func buildSystem(kind string, n, f, top, tol int, seed int64) (*quorum.System, error) {

@@ -21,6 +21,17 @@
 //     the HasQuorumWithin / HasKernelWithin triggers in O(1) amortized per
 //     delivered message instead of re-scanning the quorum collection. See
 //     internal/quorum/engine.go for the design and complexity bounds.
+//   - A word-compiled analysis engine on the same evaluator: the
+//     fail-prone system is flattened into popcount-ready words (sorted by
+//     descending cardinality), so Validate (Definition 2.1), SatisfiesB3
+//     (Definition 2.3), Tolerates and Wise run as word-parallel subset /
+//     intersection sweeps with popcount pruning, and the batch
+//     AnalyzeSystem API reports {valid, B3, c(Q), violation witness} in a
+//     single pass per candidate system. Large random-system searches
+//     (cmd/quorumtool -search, the §3.2 small-system sweep) run on this
+//     path; the naive set-loop references remain as *Naive methods,
+//     differential-tested against the compiled forms on hundreds of
+//     random systems per `go test ./...`.
 //   - A parallel multi-seed sweep engine (internal/sim Sweep/Reduce and
 //     the internal/harness Sweeper): independent seeded executions fan out
 //     over a bounded worker pool with deterministic, worker-count-

@@ -125,18 +125,23 @@ func counterexampleSchedule(sys *quorum.System) sim.LatencyModel {
 }
 
 // smallSystemTrial is one ExpSmallSystems probe: build a random system
-// below 16 processes and test the 3-round merge for a common core.
+// below 16 processes, batch-analyze it, and test the 3-round merge for a
+// common core.
 type smallSystemTrial struct {
 	built     bool
 	violation bool
 	coreCount int
+	b3        bool
+	minQ      int
 }
 
 // ExpSmallSystems searches random valid asymmetric systems below 16
 // processes for a common-core violation of the 3-round merge (the paper
 // proves none exists). The search fans out over all cores via sim.Sweep;
 // every trial's parameters derive from its own seed, so the result is
-// reproducible and worker-count independent.
+// reproducible and worker-count independent. Each built system is
+// summarized with the batch quorum.AnalyzeSystem API (one compiled pass
+// per system), which also reports the B3 rate of the family.
 func ExpSmallSystems() string {
 	const trials = 400
 	res := sim.Sweep(sim.SeedRange(1, trials), DefaultSweepWorkers, func(seed int64) smallSystemTrial {
@@ -151,19 +156,26 @@ func ExpSmallSystems() string {
 		if err != nil {
 			return smallSystemTrial{}
 		}
+		a := quorum.AnalyzeSystem(sys)
 		choice := gather.CanonicalChoice(sys)
 		u := gather.RoundSets(n, choice, 3)
 		c := gather.CommonCoreCandidates(n, choice, u)
-		return smallSystemTrial{built: true, violation: c.IsEmpty(), coreCount: c.Count()}
+		return smallSystemTrial{built: true, violation: c.IsEmpty(), coreCount: c.Count(), b3: a.B3, minQ: a.SmallestQuorum}
 	})
 	type tally struct {
-		built, violations, minCore int
+		built, violations, minCore, b3, minQ int
 	}
-	agg := sim.Reduce(res, tally{minCore: 1 << 30}, func(acc tally, _ int64, t smallSystemTrial) tally {
+	agg := sim.Reduce(res, tally{minCore: 1 << 30, minQ: 1 << 30}, func(acc tally, _ int64, t smallSystemTrial) tally {
 		if !t.built {
 			return acc
 		}
 		acc.built++
+		if t.b3 {
+			acc.b3++
+		}
+		if t.minQ < acc.minQ {
+			acc.minQ = t.minQ
+		}
 		if t.violation {
 			acc.violations++
 		} else if t.coreCount < acc.minCore {
@@ -174,8 +186,9 @@ func ExpSmallSystems() string {
 	return fmt.Sprintf(
 		"random systems with 4..15 processes: %d built, %d violations of the common core after 3 rounds\n"+
 			"(paper §3.2: any system with <16 processes always satisfies the common core)\n"+
-			"smallest candidate count observed: %d\n",
-		agg.built, agg.violations, agg.minCore)
+			"smallest candidate count observed: %d\n"+
+			"B3 satisfied (Theorem 2.4, implied by validity): %d/%d; smallest c(Q) observed: %d\n",
+		agg.built, agg.violations, agg.minCore, agg.b3, agg.built, agg.minQ)
 }
 
 // ExpLogRounds measures how many quorum-merge rounds the counterexample

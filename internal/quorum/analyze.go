@@ -2,10 +2,18 @@ package quorum
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/types"
 )
+
+// This file is the analysis layer: validity (Definition 2.1), the B3
+// condition (Definition 2.3), kernels, and system summaries. All sweeps
+// run word-parallel over the compiled Evaluator's flattened quorum and
+// fail-prone words with popcount pruning; the straightforward nested-set
+// loops are retained as *Naive reference implementations for the
+// differential test suite and the benchmark comparison.
 
 // Validate checks the two defining properties of an asymmetric Byzantine
 // quorum system (Definition 2.1):
@@ -18,7 +26,79 @@ import (
 //
 // It returns nil if both hold, and a descriptive error naming the first
 // violation otherwise.
+//
+// The sweep runs on the compiled evaluator: intersections are word ANDs
+// into a reused scratch buffer, and a quorum pair is skipped outright when
+// its intersection popcount exceeds every fail-prone bound of either
+// owner. Processes with an empty fail-prone collection tolerate nothing
+// and cannot participate in a consistency violation, so they are skipped.
 func (s *System) Validate() error {
+	e := s.Evaluator()
+	// Availability: some quorum of i must be disjoint from each F ∈ F_i.
+	for i := 0; i < s.n; i++ {
+		for k := e.fStart[i]; k < e.fStart[i+1]; k++ {
+			fw := e.fwords(k)
+			ok := false
+			for q := e.qStart[i]; q < e.qStart[i+1]; q++ {
+				if !e.intersects(q, fw) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("quorum: availability violated for %v: no quorum disjoint from fail-prone set %v",
+					types.ProcessID(i), s.failProne[i][e.fOrig[k]])
+			}
+		}
+	}
+	// Consistency. I = Q_i ∩ Q_j violates iff I ⊆ some F∈F_i and
+	// I ⊆ some F'∈F_j (then I ∈ F_i* ∩ F_j*).
+	scratch := make([]uint64, e.words)
+	for i := 0; i < s.n; i++ {
+		if e.fStart[i+1] == e.fStart[i] {
+			continue // F_i = ∅: i tolerates nothing
+		}
+		for j := i; j < s.n; j++ {
+			if e.fStart[j+1] == e.fStart[j] {
+				continue
+			}
+			bound := e.fMax[i]
+			if e.fMax[j] < bound {
+				bound = e.fMax[j]
+			}
+			for qi := e.qStart[i]; qi < e.qStart[i+1]; qi++ {
+				qiw := e.qwords(qi)
+				for qj := e.qStart[j]; qj < e.qStart[j+1]; qj++ {
+					qjw := e.qwords(qj)
+					c := int32(0)
+					for w := range scratch {
+						x := qiw[w] & qjw[w]
+						scratch[w] = x
+						c += int32(bits.OnesCount64(x))
+					}
+					if c > bound {
+						continue // intersection exceeds every fail-prone bound
+					}
+					if e.toleratesWords(types.ProcessID(i), scratch, c) && e.toleratesWords(types.ProcessID(j), scratch, c) {
+						a := s.quorums[i][qi-e.qStart[i]]
+						b := s.quorums[j][qj-e.qStart[j]]
+						return fmt.Errorf("quorum: consistency violated for %v,%v: quorums %v and %v intersect in %v which both deem fail-prone",
+							types.ProcessID(i), types.ProcessID(j), a, b, a.Intersect(b))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateNaive is the direct nested-set-loop reference implementation of
+// Validate, retained as the oracle for the differential tests and the
+// BenchmarkValidate / BenchmarkValidateNaive comparison. Verdicts always
+// agree with Validate; witness messages may name a different (equally
+// real) violation because the compiled sweep orders fail-prone sets by
+// cardinality.
+func (s *System) ValidateNaive() error {
 	// Availability.
 	for i := 0; i < s.n; i++ {
 		p := types.ProcessID(i)
@@ -35,8 +115,7 @@ func (s *System) Validate() error {
 			}
 		}
 	}
-	// Consistency. I = Q_i ∩ Q_j violates iff I ⊆ some F∈F_i and
-	// I ⊆ some F'∈F_j (then I ∈ F_i* ∩ F_j*).
+	// Consistency.
 	for i := 0; i < s.n; i++ {
 		pi := types.ProcessID(i)
 		for j := i; j < s.n; j++ {
@@ -44,7 +123,7 @@ func (s *System) Validate() error {
 			for _, qi := range s.quorums[i] {
 				for _, qj := range s.quorums[j] {
 					inter := qi.Intersect(qj)
-					if s.Tolerates(pi, inter) && s.Tolerates(pj, inter) {
+					if s.ToleratesNaive(pi, inter) && s.ToleratesNaive(pj, inter) {
 						return fmt.Errorf("quorum: consistency violated for %v,%v: quorums %v and %v intersect in %v which both deem fail-prone",
 							pi, pj, qi, qj, inter)
 					}
@@ -63,13 +142,71 @@ func (s *System) Validate() error {
 // test: P ⊆ F_i ∪ F_j ∪ F_ij for some common F_ij iff the residue
 // R = P \ (F_i ∪ F_j) itself lies in F_i* ∩ F_j*.
 func (s *System) SatisfiesB3() bool {
+	_, _, _, _, found := s.b3Violation()
+	return !found
+}
+
+// b3Violation locates the first violating tuple of the B3 condition, or
+// reports found=false when the condition holds. The sweep is the compiled
+// counterpart of SatisfiesB3Naive: the residue R = P \ (F_a ∪ F_b) is
+// computed as word operations into a scratch buffer, pairs are pruned by
+// the popcount lower bound |R| ≥ n − |F_a| − |F_b| (fail-prone sets are
+// sorted by descending size, so the inner loop breaks at the first pair
+// whose residue is provably too large for either owner's bound), and the
+// condition's symmetry in (a, b) halves the process pairs.
+func (s *System) b3Violation() (i, j types.ProcessID, fi, fj types.Set, found bool) {
+	e := s.Evaluator()
+	scratch := make([]uint64, e.words)
+	for a := 0; a < s.n; a++ {
+		if e.fStart[a+1] == e.fStart[a] {
+			continue // F_a = ∅: a tolerates no residue
+		}
+		for b := a; b < s.n; b++ {
+			if e.fStart[b+1] == e.fStart[b] {
+				continue
+			}
+			bound := e.fMax[a]
+			if e.fMax[b] < bound {
+				bound = e.fMax[b]
+			}
+			for ka := e.fStart[a]; ka < e.fStart[a+1]; ka++ {
+				faw := e.fwords(ka)
+				for kb := e.fStart[b]; kb < e.fStart[b+1]; kb++ {
+					if int32(s.n)-e.fSize[ka]-e.fSize[kb] > bound {
+						break // residues only grow as |F_b| shrinks
+					}
+					fbw := e.fwords(kb)
+					c := int32(0)
+					for w := range scratch {
+						x := e.fullWords[w] &^ (faw[w] | fbw[w])
+						scratch[w] = x
+						c += int32(bits.OnesCount64(x))
+					}
+					if c > bound {
+						continue
+					}
+					if e.toleratesWords(types.ProcessID(a), scratch, c) && e.toleratesWords(types.ProcessID(b), scratch, c) {
+						return types.ProcessID(a), types.ProcessID(b),
+							s.failProne[a][e.fOrig[ka]], s.failProne[b][e.fOrig[kb]], true
+					}
+				}
+			}
+		}
+	}
+	return 0, 0, types.Set{}, types.Set{}, false
+}
+
+// SatisfiesB3Naive is the direct nested-set-loop reference implementation
+// of SatisfiesB3, retained as the oracle for the differential tests and
+// the BenchmarkSatisfiesB3 / BenchmarkSatisfiesB3Naive comparison.
+func (s *System) SatisfiesB3Naive() bool {
 	full := types.FullSet(s.n)
 	for i := 0; i < s.n; i++ {
 		for j := 0; j < s.n; j++ {
 			for _, fi := range s.failProne[i] {
 				for _, fj := range s.failProne[j] {
 					r := full.Subtract(fi.Union(fj))
-					if s.Tolerates(types.ProcessID(i), r) && s.Tolerates(types.ProcessID(j), r) {
+					if s.ToleratesNaive(types.ProcessID(i), r) && s.ToleratesNaive(types.ProcessID(j), r) {
 						return false
 					}
 				}
@@ -79,12 +216,52 @@ func (s *System) SatisfiesB3() bool {
 	return true
 }
 
+// Analysis is the batch result of AnalyzeSystem: every per-system quantity
+// the search paths need, computed over a single compiled evaluator.
+type Analysis struct {
+	N              int
+	TotalQuorums   int
+	SmallestQuorum int    // c(Q); 0 when the system has no quorums
+	Valid          bool   // Definition 2.1 (consistency + availability)
+	Err            error  // the Validate violation witness when !Valid
+	B3             bool   // Definition 2.3
+	B3Witness      string // human-readable witness when !B3
+}
+
+// AnalyzeSystem runs Validate, SatisfiesB3 and the quorum-size summary
+// over a single compiled evaluator: one compilation per system, one
+// consistency sweep and one B3 sweep. Search loops over many candidate
+// systems (cmd/quorumtool -search, harness.ExpSmallSystems) call this
+// instead of stacking the per-property methods.
+func AnalyzeSystem(s *System) Analysis {
+	e := s.Evaluator()
+	a := Analysis{
+		N:              s.n,
+		TotalQuorums:   int(e.qStart[s.n]),
+		SmallestQuorum: e.minQ,
+	}
+	a.Err = s.Validate()
+	a.Valid = a.Err == nil
+	if i, j, fi, fj, found := s.b3Violation(); found {
+		a.B3Witness = fmt.Sprintf("B3 violated for %v,%v: P ⊆ %v ∪ %v ∪ F for some common fail-prone F", i, j, fi, fj)
+	} else {
+		a.B3 = true
+	}
+	return a
+}
+
 // MinimalKernels enumerates the minimal kernels of process i: the minimal
 // sets that intersect every quorum in Q_i. The search is exponential in the
 // worst case; limit caps the number of kernels returned (0 means no cap).
 // Intended for tooling and tests on small systems.
+//
+// A process with no quorums has no meaningful kernels (the empty set would
+// vacuously intersect everything), so the result is nil rather than [∅].
 func (s *System) MinimalKernels(i types.ProcessID, limit int) []types.Set {
 	quorums := s.quorums[i]
+	if len(quorums) == 0 {
+		return nil
+	}
 	var out []types.Set
 	seen := map[string]bool{}
 
@@ -187,31 +364,36 @@ func RenderMatrix(n int, header string, rowFn, altFn func(types.ProcessID) types
 
 // Describe returns a human-readable summary of a system: sizes, the B3
 // verdict, validity, and the Lemma 4.4 bound. Used by cmd/quorumtool and
-// handy in tests.
+// handy in tests. All quantities come from a single AnalyzeSystem pass.
 func (s *System) Describe() string {
+	a := AnalyzeSystem(s)
 	var b strings.Builder
 	fmt.Fprintf(&b, "processes: %d\n", s.n)
-	minQ, maxQ, totalQ := s.n+1, 0, 0
-	for i := 0; i < s.n; i++ {
-		qs := s.quorums[i]
-		totalQ += len(qs)
-		for _, q := range qs {
-			if c := q.Count(); c < minQ {
-				minQ = c
-			}
-			if c := q.Count(); c > maxQ {
+	if a.TotalQuorums == 0 {
+		// Without the guard this used to print the garbage sentinel range
+		// "sizes n+1..0" (and c(Q)=n+1) for an empty quorum collection.
+		b.WriteString("quorums: 0 total, sizes -\n")
+	} else {
+		e := s.Evaluator()
+		maxQ := 0
+		for k := int32(0); k < int32(a.TotalQuorums); k++ {
+			if c := int(e.qSize[k]); c > maxQ {
 				maxQ = c
 			}
 		}
+		fmt.Fprintf(&b, "quorums: %d total, sizes %d..%d, c(Q)=%d\n", a.TotalQuorums, a.SmallestQuorum, maxQ, a.SmallestQuorum)
 	}
-	fmt.Fprintf(&b, "quorums: %d total, sizes %d..%d, c(Q)=%d\n", totalQ, minQ, maxQ, s.SmallestQuorumSize())
-	fmt.Fprintf(&b, "B3 condition: %v\n", s.SatisfiesB3())
-	if err := s.Validate(); err != nil {
-		fmt.Fprintf(&b, "valid quorum system: false (%v)\n", err)
+	fmt.Fprintf(&b, "B3 condition: %v\n", a.B3)
+	if !a.Valid {
+		fmt.Fprintf(&b, "valid quorum system: false (%v)\n", a.Err)
 	} else {
 		b.WriteString("valid quorum system: true\n")
 	}
-	fmt.Fprintf(&b, "Lemma 4.4 commit bound |P|/c(Q): %.2f waves\n",
-		float64(s.n)/float64(s.SmallestQuorumSize()))
+	if a.SmallestQuorum > 0 {
+		fmt.Fprintf(&b, "Lemma 4.4 commit bound |P|/c(Q): %.2f waves\n",
+			float64(s.n)/float64(a.SmallestQuorum))
+	} else {
+		b.WriteString("Lemma 4.4 commit bound |P|/c(Q): n/a (no quorums)\n")
+	}
 	return b.String()
 }

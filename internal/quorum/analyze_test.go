@@ -1,0 +1,204 @@
+package quorum
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// degenerateSystem builds a System directly, bypassing New's guards, so
+// the analysis layer can be probed on inputs the constructor rejects
+// (processes with no quorums, empty collections, n=1).
+func degenerateSystem(n int, failProne, quorums [][]types.Set) *System {
+	if failProne == nil {
+		failProne = make([][]types.Set, n)
+	}
+	if quorums == nil {
+		quorums = make([][]types.Set, n)
+	}
+	return &System{n: n, failProne: failProne, quorums: quorums}
+}
+
+// checkAnalysisAgreement asserts that every word-compiled analysis entry
+// point agrees with its retained naive reference on sys.
+func checkAnalysisAgreement(t *testing.T, label string, sys *System, rng *rand.Rand) {
+	t.Helper()
+	n := sys.N()
+
+	wantErr := sys.ValidateNaive()
+	gotErr := sys.Validate()
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("%s: Validate=%v, ValidateNaive=%v", label, gotErr, wantErr)
+	}
+	wantB3 := sys.SatisfiesB3Naive()
+	if gotB3 := sys.SatisfiesB3(); gotB3 != wantB3 {
+		t.Fatalf("%s: SatisfiesB3=%v, naive=%v", label, gotB3, wantB3)
+	}
+
+	a := AnalyzeSystem(sys)
+	if a.Valid != (wantErr == nil) || a.B3 != wantB3 || a.N != n {
+		t.Fatalf("%s: AnalyzeSystem=%+v disagrees with naive (valid=%v b3=%v)",
+			label, a, wantErr == nil, wantB3)
+	}
+	if !a.Valid && a.Err == nil {
+		t.Fatalf("%s: invalid system must carry a witness error", label)
+	}
+	if !a.B3 && a.B3Witness == "" {
+		t.Fatalf("%s: B3 violation must carry a witness", label)
+	}
+	totalQ, minQ := 0, n+1
+	for i := 0; i < n; i++ {
+		for _, q := range sys.Quorums(types.ProcessID(i)) {
+			totalQ++
+			if c := q.Count(); c < minQ {
+				minQ = c
+			}
+		}
+	}
+	if totalQ == 0 {
+		minQ = 0
+	}
+	if a.TotalQuorums != totalQ || a.SmallestQuorum != minQ {
+		t.Fatalf("%s: AnalyzeSystem counts %d/%d, want %d/%d",
+			label, a.TotalQuorums, a.SmallestQuorum, totalQ, minQ)
+	}
+
+	// Tolerates and Wise on random probe sets.
+	for trial := 0; trial < 8; trial++ {
+		f := types.NewSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				f.Add(types.ProcessID(i))
+			}
+		}
+		p := types.ProcessID(rng.Intn(n))
+		if sys.Tolerates(p, f) != sys.ToleratesNaive(p, f) {
+			t.Fatalf("%s: Tolerates(%v, %v) diverged from naive", label, p, f)
+		}
+		wise := sys.Wise(f)
+		for i := 0; i < n; i++ {
+			q := types.ProcessID(i)
+			want := !f.Contains(q) && sys.ToleratesNaive(q, f)
+			if wise.Contains(q) != want {
+				t.Fatalf("%s: Wise(%v) membership of %v = %v, want %v", label, f, q, wise.Contains(q), want)
+			}
+		}
+	}
+}
+
+// TestAnalysisDifferentialRandom is the randomized differential suite for
+// the word-compiled analysis engine: ~200 seeds, alternating between
+// RandomAsymmetric systems (valid by construction) and raw canonical
+// systems over unconstrained random fail-prone collections (a mix of
+// valid and invalid, exercising both verdicts of Validate/SatisfiesB3).
+func TestAnalysisDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		n := 4 + rng.Intn(13)
+		var sys *System
+		var label string
+		if seed%2 == 0 {
+			var err error
+			sys, err = RandomAsymmetric(RandomAsymmetricConfig{
+				N: n, NumSets: 1 + rng.Intn(3), MaxFault: 1 + rng.Intn(max(1, n/4)), Seed: seed,
+			})
+			if err != nil {
+				continue // no valid system for this seed; other seeds cover it
+			}
+			label = "asym"
+		} else {
+			// Unconstrained random fail-prone sets, canonical quorums: no
+			// validity rejection, so invalid and non-B3 systems appear.
+			fp := make([][]types.Set, n)
+			for i := 0; i < n; i++ {
+				k := 1 + rng.Intn(3)
+				sets := make([]types.Set, 0, k)
+				for x := 0; x < k; x++ {
+					f := types.NewSet(n)
+					size := rng.Intn(n)
+					for f.Count() < size {
+						f.Add(types.ProcessID(rng.Intn(n)))
+					}
+					sets = append(sets, f)
+				}
+				fp[i] = sets
+			}
+			var err error
+			sys, err = Canonical(n, fp)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			label = "canonical"
+		}
+		checkAnalysisAgreement(t, label, sys, rng)
+	}
+}
+
+// TestAnalysisDegenerate pins the analysis engine on the degenerate shapes
+// the constructor rejects: empty quorum collections, empty fail-prone
+// collections, a mix of both, and n=1.
+func TestAnalysisDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+
+	// No quorums anywhere, fail-prone sets present: availability must fail.
+	n := 4
+	fp := make([][]types.Set, n)
+	for i := range fp {
+		fp[i] = []types.Set{types.NewSetOf(n, types.ProcessID((i+1)%n))}
+	}
+	noQ := degenerateSystem(n, fp, nil)
+	checkAnalysisAgreement(t, "no-quorums", noQ, rng)
+	if noQ.Validate() == nil {
+		t.Error("system without quorums but with fail-prone sets must violate availability")
+	}
+	if a := AnalyzeSystem(noQ); a.TotalQuorums != 0 || a.SmallestQuorum != 0 {
+		t.Errorf("no-quorum analysis = %+v, want 0 quorums and c(Q)=0", a)
+	}
+
+	// Quorums present, no fail-prone sets: trivially valid, B3 vacuous.
+	q := types.NewSetOf(n, 0, 1, 2)
+	qs := make([][]types.Set, n)
+	for i := range qs {
+		qs[i] = []types.Set{q}
+	}
+	noF := degenerateSystem(n, nil, qs)
+	checkAnalysisAgreement(t, "no-failprone", noF, rng)
+	if noF.Validate() != nil || !noF.SatisfiesB3() {
+		t.Error("system without fail-prone sets must be valid and satisfy B3")
+	}
+
+	// Mixed: one process with no quorums at all.
+	mixed := degenerateSystem(n, fp, [][]types.Set{{q}, {q}, {q}, nil})
+	checkAnalysisAgreement(t, "mixed", mixed, rng)
+
+	// n=1: a single process trusting itself.
+	one := degenerateSystem(1, nil, [][]types.Set{{types.NewSetOf(1, 0)}})
+	checkAnalysisAgreement(t, "n=1", one, rand.New(rand.NewSource(1)))
+	if one.Validate() != nil || !one.SatisfiesB3() {
+		t.Error("single self-trusting process must be valid and satisfy B3")
+	}
+
+	// n=1 with an empty fail-prone set: still valid, B3 must agree with
+	// the naive reference (the residue is the process itself).
+	oneF := degenerateSystem(1, [][]types.Set{{types.NewSet(1)}}, [][]types.Set{{types.NewSetOf(1, 0)}})
+	checkAnalysisAgreement(t, "n=1+emptyF", oneF, rand.New(rand.NewSource(2)))
+}
+
+// TestDescribeNoQuorums is the regression test for the Describe sentinel
+// bug: with an empty quorum collection it used to print the garbage range
+// "sizes n+1..0" (and c(Q)=n+1).
+func TestDescribeNoQuorums(t *testing.T) {
+	sys := degenerateSystem(3, nil, nil)
+	out := sys.Describe()
+	if !strings.Contains(out, "quorums: 0 total, sizes -") {
+		t.Errorf("Describe must report 'sizes -' for an empty quorum collection:\n%s", out)
+	}
+	if strings.Contains(out, "sizes 4..0") || strings.Contains(out, "c(Q)=4") {
+		t.Errorf("Describe leaked the n+1/0 sentinels:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a (no quorums)") {
+		t.Errorf("Describe must not divide by c(Q)=0:\n%s", out)
+	}
+}

@@ -209,6 +209,7 @@ type RandomSymmetricConfig struct {
 // canonical quorums. The result is only returned if it passes Validate;
 // otherwise generation retries with a derived seed, up to 64 attempts.
 func RandomSymmetric(cfg RandomSymmetricConfig) (*System, error) {
+	var lastViolation error
 	for attempt := 0; attempt < 64; attempt++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*7919))
 		sets := make([]types.Set, 0, cfg.NumSets)
@@ -224,11 +225,11 @@ func RandomSymmetric(cfg RandomSymmetricConfig) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		if sys.Validate() == nil {
+		if lastViolation = sys.Validate(); lastViolation == nil {
 			return sys, nil
 		}
 	}
-	return nil, fmt.Errorf("quorum: no valid random symmetric system found for %+v", cfg)
+	return nil, fmt.Errorf("quorum: no valid random symmetric system found for %+v (last violation: %v)", cfg, lastViolation)
 }
 
 // RandomAsymmetricConfig controls RandomAsymmetric.
@@ -244,6 +245,7 @@ type RandomAsymmetricConfig struct {
 // itself), quorums canonical. Retries with derived seeds until the system
 // passes Validate, up to 128 attempts.
 func RandomAsymmetric(cfg RandomAsymmetricConfig) (*System, error) {
+	var lastViolation error
 	for attempt := 0; attempt < 128; attempt++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*104729))
 		fp := make([][]types.Set, cfg.N)
@@ -267,11 +269,11 @@ func RandomAsymmetric(cfg RandomAsymmetricConfig) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		if sys.Validate() == nil {
+		if lastViolation = sys.Validate(); lastViolation == nil {
 			return sys, nil
 		}
 	}
-	return nil, fmt.Errorf("quorum: no valid random asymmetric system found for %+v", cfg)
+	return nil, fmt.Errorf("quorum: no valid random asymmetric system found for %+v (last violation: %v)", cfg, lastViolation)
 }
 
 // UNLConfig describes a Ripple-flavoured trust topology (paper §1:

@@ -40,10 +40,18 @@
 // tracker. Assumptions that are neither *System nor Threshold fall back to
 // the narrow Assumption interface with monotone memoization (the predicate
 // is re-evaluated only while still false).
+//
+// Besides the protocol predicates, the Evaluator also flattens the
+// fail-prone system into contiguous popcount-ready words (sorted per
+// process by descending cardinality). The analysis layer in analyze.go —
+// Validate, SatisfiesB3, Tolerates, Wise, AnalyzeSystem — runs its
+// subset/intersection sweeps over these arrays with popcount pruning
+// instead of nested types.Set loops; see analyze.go for the algorithms.
 package quorum
 
 import (
 	"math/bits"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -77,6 +85,22 @@ type Evaluator struct {
 	// the MaximalGuild fixpoint.
 	gInvOff []int32 // len n+1
 	gInv    []int32
+
+	// Fail-prone system, flattened like the quorums: fail-prone set k
+	// (global index) occupies fWords[k*words:(k+1)*words], and the sets of
+	// process i are the contiguous range fStart[i]..fStart[i+1], ordered by
+	// DESCENDING popcount so a containment scan can stop at the first set
+	// smaller than the probe. fOrig maps a compiled slot back to the index
+	// in the System's original F_i (for violation witnesses) and fMax[i] is
+	// the largest fail-prone cardinality of process i (0 when F_i = ∅).
+	fWords []uint64
+	fSize  []int32
+	fStart []int32 // len n+1
+	fOrig  []int32
+	fMax   []int32 // len n
+
+	// fullWords is the full process set P as words (for the B3 residue).
+	fullWords []uint64
 }
 
 // Compile builds the Evaluator for a System. Cost is O(total quorum
@@ -113,6 +137,44 @@ func Compile(s *System) *Evaluator {
 		}
 	}
 	e.qStart[n] = int32(k)
+	if total == 0 {
+		e.minQ = 0 // no quorums at all: c(Q) has no meaningful value
+	}
+
+	// Fail-prone flattening, mirroring the quorum words above.
+	totalF := 0
+	for i := 0; i < n; i++ {
+		totalF += len(s.failProne[i])
+	}
+	e.fWords = make([]uint64, totalF*words)
+	e.fSize = make([]int32, totalF)
+	e.fOrig = make([]int32, totalF)
+	e.fStart = make([]int32, n+1)
+	e.fMax = make([]int32, n)
+	k = 0
+	for i := 0; i < n; i++ {
+		e.fStart[i] = int32(k)
+		order := make([]int, len(s.failProne[i]))
+		for x := range order {
+			order[x] = x
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return s.failProne[i][order[a]].Count() > s.failProne[i][order[b]].Count()
+		})
+		for _, oi := range order {
+			f := s.failProne[i][oi]
+			copy(e.fWords[k*words:(k+1)*words], f.Words())
+			c := int32(f.Count())
+			e.fSize[k] = c
+			e.fOrig[k] = int32(oi)
+			if c > e.fMax[i] {
+				e.fMax[i] = c
+			}
+			k++
+		}
+	}
+	e.fStart[n] = int32(k)
+	e.fullWords = types.FullSet(n).Words()
 
 	// Count index sizes, then fill (two passes keep both indexes in single
 	// contiguous allocations).
@@ -155,8 +217,61 @@ func Compile(s *System) *Evaluator {
 // N returns the number of processes.
 func (e *Evaluator) N() int { return e.n }
 
-// SmallestQuorumSize returns the precomputed c(Q).
+// SmallestQuorumSize returns the precomputed c(Q), or 0 when the system
+// has no quorums at all.
 func (e *Evaluator) SmallestQuorumSize() int { return e.minQ }
+
+// qwords returns the membership words of global quorum k.
+func (e *Evaluator) qwords(k int32) []uint64 {
+	return e.qWords[int(k)*e.words : (int(k)+1)*e.words]
+}
+
+// fwords returns the membership words of compiled fail-prone set k.
+func (e *Evaluator) fwords(k int32) []uint64 {
+	return e.fWords[int(k)*e.words : (int(k)+1)*e.words]
+}
+
+// wordsSubset reports a ⊆ b for equal-length word slices.
+func wordsSubset(a, b []uint64) bool {
+	for j, w := range a {
+		if w&^b[j] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// wordsIntersect reports a ∩ b ≠ ∅ for equal-length word slices.
+func wordsIntersect(a, b []uint64) bool {
+	for j, w := range a {
+		if w&b[j] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// toleratesWords reports whether the set with backing words mw and
+// popcount mc lies in F_i* (is contained in one of i's fail-prone sets).
+// Compiled fail-prone sets are sorted by descending cardinality, so the
+// scan stops at the first set too small to contain the probe.
+func (e *Evaluator) toleratesWords(i types.ProcessID, mw []uint64, mc int32) bool {
+	for k := e.fStart[i]; k < e.fStart[i+1]; k++ {
+		if e.fSize[k] < mc {
+			return false
+		}
+		if wordsSubset(mw, e.fwords(k)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tolerates is the compiled form of System.Tolerates: f ∈ F_i*.
+func (e *Evaluator) Tolerates(i types.ProcessID, f types.Set) bool {
+	fw := f.Words()
+	return e.toleratesWords(i, fw, int32(popcount(fw)))
+}
 
 // numQuorums returns |Q_i|.
 func (e *Evaluator) numQuorums(i types.ProcessID) int {
@@ -166,24 +281,12 @@ func (e *Evaluator) numQuorums(i types.ProcessID) int {
 // subset reports whether global quorum k is contained in the member words
 // mw (which must have the evaluator's word length).
 func (e *Evaluator) subset(k int32, mw []uint64) bool {
-	qw := e.qWords[int(k)*e.words : (int(k)+1)*e.words]
-	for j, w := range qw {
-		if w&^mw[j] != 0 {
-			return false
-		}
-	}
-	return true
+	return wordsSubset(e.qwords(k), mw)
 }
 
 // intersects reports whether global quorum k intersects the member words.
 func (e *Evaluator) intersects(k int32, mw []uint64) bool {
-	qw := e.qWords[int(k)*e.words : (int(k)+1)*e.words]
-	for j, w := range qw {
-		if w&mw[j] != 0 {
-			return true
-		}
-	}
-	return false
+	return wordsIntersect(e.qwords(k), mw)
 }
 
 func popcount(ws []uint64) int {

@@ -13,6 +13,16 @@
 // values that answer HasQuorum/HasKernel in O(1) after an O(words)
 // Add(member) update instead of re-scanning Q_i on every delivery. See the
 // engine.go file comment for the design and complexity bounds.
+//
+// The analysis layer (analyze.go) runs on the same compiled form: the
+// evaluator additionally flattens the fail-prone system into contiguous
+// popcount-ready words sorted by descending cardinality, and Validate,
+// SatisfiesB3, Tolerates and Wise execute as word-parallel subset and
+// intersection sweeps with popcount pruning. Search loops over many
+// candidate systems use the batch AnalyzeSystem API, which computes
+// validity, B3, c(Q) and a violation witness in one pass per system. The
+// straightforward nested-set loops are retained as *Naive reference
+// implementations for differential testing and benchmarking.
 package quorum
 
 import (
@@ -130,8 +140,19 @@ func (s *System) HasKernelWithin(i types.ProcessID, m types.Set) bool {
 
 // Tolerates reports whether F ∈ F_i*, i.e. process i correctly foresees the
 // failure of every process in f (f is contained in one of i's fail-prone
-// sets).
+// sets). The check runs on the evaluator's flattened fail-prone words:
+// sets are ordered by descending cardinality, so the scan stops at the
+// first set smaller than f.
 func (s *System) Tolerates(i types.ProcessID, f types.Set) bool {
+	if f.UniverseSize() != s.n {
+		panic(fmt.Sprintf("quorum: universe mismatch %d vs %d", f.UniverseSize(), s.n))
+	}
+	return s.Evaluator().Tolerates(i, f)
+}
+
+// ToleratesNaive is the direct set-loop reference implementation of
+// Tolerates, retained as the oracle for the differential tests.
+func (s *System) ToleratesNaive(i types.ProcessID, f types.Set) bool {
 	for _, fp := range s.failProne[i] {
 		if f.IsSubsetOf(fp) {
 			return true
@@ -143,22 +164,30 @@ func (s *System) Tolerates(i types.ProcessID, f types.Set) bool {
 // SmallestQuorumSize returns c(Q) = min over all processes and quorums of
 // |Q|, the constant in the paper's Lemma 4.4 commit-latency bound. The
 // value comes from the compiled evaluator's precomputed popcounts rather
-// than recounting bits.
+// than recounting bits. A (degenerate) system without any quorums reports
+// 0.
 func (s *System) SmallestQuorumSize() int {
 	return s.Evaluator().SmallestQuorumSize()
 }
 
 // Wise returns the set of wise processes for an actual faulty set f: the
 // correct processes that foresee f (f ∈ F_i*). Faulty processes are never
-// wise.
+// wise. The containment scans run on the evaluator's flattened fail-prone
+// words with f's popcount computed once.
 func (s *System) Wise(f types.Set) types.Set {
+	if f.UniverseSize() != s.n {
+		panic(fmt.Sprintf("quorum: universe mismatch %d vs %d", f.UniverseSize(), s.n))
+	}
+	e := s.Evaluator()
+	fw := f.Words()
+	fc := int32(popcount(fw))
 	wise := types.NewSet(s.n)
 	for i := 0; i < s.n; i++ {
 		p := types.ProcessID(i)
 		if f.Contains(p) {
 			continue
 		}
-		if s.Tolerates(p, f) {
+		if e.toleratesWords(p, fw, fc) {
 			wise.Add(p)
 		}
 	}
@@ -188,9 +217,9 @@ func (s *System) MaximalGuild(f types.Set) types.Set {
 	gw := g.Words()
 
 	total := int(e.qStart[e.n])
-	full := make([]bool, total)       // quorum still entirely within g
-	fullCnt := make([]int32, e.n)     // per process: quorums within g
-	var queue []types.ProcessID       // members of g that lost all quorums
+	full := make([]bool, total)   // quorum still entirely within g
+	fullCnt := make([]int32, e.n) // per process: quorums within g
+	var queue []types.ProcessID   // members of g that lost all quorums
 	for i := 0; i < e.n; i++ {
 		for k := e.qStart[i]; k < e.qStart[i+1]; k++ {
 			if e.subset(k, gw) {

@@ -368,6 +368,20 @@ func TestMinimalKernels(t *testing.T) {
 	}
 }
 
+// TestMinimalKernelsNoQuorums is the regression test for the degenerate
+// recursion base case: a process with no quorums used to yield [∅],
+// claiming the empty set is a kernel; it must yield no kernels at all.
+func TestMinimalKernelsNoQuorums(t *testing.T) {
+	sys := degenerateSystem(3, nil, [][]types.Set{nil, {types.NewSetOf(3, 1, 2)}, {types.NewSetOf(3, 1, 2)}})
+	if ks := sys.MinimalKernels(0, 0); ks != nil {
+		t.Fatalf("MinimalKernels on a quorum-less process = %v, want nil", ks)
+	}
+	// Processes that do have quorums are unaffected.
+	if ks := sys.MinimalKernels(1, 0); len(ks) == 0 {
+		t.Fatal("MinimalKernels vanished for a process with quorums")
+	}
+}
+
 func TestKernelQuorumDuality(t *testing.T) {
 	// Property: m contains a kernel for i ⟺ complement(m) contains no
 	// quorum for i. (A kernel hits all quorums iff no quorum avoids m.)
