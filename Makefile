@@ -30,10 +30,12 @@ bench:
 	@grep -o '"Output":".*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | grep '^Benchmark' || true
 	@echo "wrote $(BENCH_OUT)"
 
-# Diff two bench recordings; fails on >15% ns/op regressions. By default
-# the two newest BENCH_*.json are compared; override with OLD=/NEW=.
+# Diff two bench recordings; fails on >15% ns/op, allocs/op or B/op
+# regressions. By default the two newest BENCH_*.json are compared;
+# override with OLD=/NEW=, and the allocation gate with ALLOC_THRESHOLD=
+# (percent; negative disables).
 benchcmp:
-	$(GO) run ./cmd/benchdiff $(if $(OLD),-old $(OLD)) $(if $(NEW),-new $(NEW))
+	$(GO) run ./cmd/benchdiff $(if $(OLD),-old $(OLD)) $(if $(NEW),-new $(NEW)) $(if $(ALLOC_THRESHOLD),-allocthreshold $(ALLOC_THRESHOLD))
 
 # Smoke-test the batch analysis search path: a parallel random-system
 # sweep through quorum.AnalyzeSystem (the quorumtool -search mode).

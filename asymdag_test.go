@@ -206,3 +206,33 @@ func TestPublicConsensusWithGCAndRevealedCoin(t *testing.T) {
 		t.Error("no commits with revealed coin + GC through the public API")
 	}
 }
+
+// TestClusterDefaultLatencyIsUniform is the regression for the documented
+// "default: uniform 1..20": a nil-latency cluster must behave exactly
+// like an explicit UniformLatency{1, 20} cluster — and therefore
+// differently from the lockstep ConstantLatency(1) network that nil used
+// to silently fall through to.
+func TestClusterDefaultLatencyIsUniform(t *testing.T) {
+	run := func(lat asymdag.LatencyModel) asymdag.ClusterResult {
+		cluster := asymdag.NewCluster(asymdag.ClusterConfig{
+			Trust:    asymdag.NewThreshold(4, 1),
+			NumWaves: 4,
+			Seed:     11,
+			CoinSeed: 3,
+			Latency:  lat,
+		})
+		cluster.Submit(0, "a", "b")
+		return cluster.Run()
+	}
+	nilLat := run(nil)
+	uniform := run(asymdag.UniformLatency{Min: 1, Max: 20})
+	constant := run(asymdag.ConstantLatency(1))
+
+	if nilLat.VTime != uniform.VTime || nilLat.Messages != uniform.Messages {
+		t.Fatalf("nil latency (vtime %d, msgs %d) != documented uniform default (vtime %d, msgs %d)",
+			nilLat.VTime, nilLat.Messages, uniform.VTime, uniform.Messages)
+	}
+	if nilLat.VTime == constant.VTime {
+		t.Fatalf("nil latency still runs the ConstantLatency(1) schedule (vtime %d)", nilLat.VTime)
+	}
+}

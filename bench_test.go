@@ -74,6 +74,7 @@ func adversarialLatency(sys *quorum.System) sim.LatencyModel {
 func BenchmarkGatherAlgorithm2Adversarial(b *testing.B) {
 	sys := quorum.Counterexample()
 	lat := adversarialLatency(sys)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := gather.RunCluster(gather.RunConfig{
@@ -89,6 +90,7 @@ func BenchmarkGatherAlgorithm2Adversarial(b *testing.B) {
 func BenchmarkGatherAlgorithm3Adversarial(b *testing.B) {
 	sys := quorum.Counterexample()
 	lat := adversarialLatency(sys)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := gather.RunCluster(gather.RunConfig{
@@ -105,6 +107,7 @@ func BenchmarkGatherAlgorithm3Adversarial(b *testing.B) {
 // broadcast.
 func BenchmarkGatherAlgorithm1Threshold(b *testing.B) {
 	trust := quorum.NewThreshold(7, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := gather.RunCluster(gather.RunConfig{
@@ -306,6 +309,47 @@ func BenchmarkSweepABBA(b *testing.B) {
 
 // Micro-benchmarks of the substrate hot paths. ---------------------------
 
+// Copy-on-write pair-set snapshots: the per-trigger broadcast snapshot
+// must stay O(1) and allocation-free regardless of set size.
+func BenchmarkPairsSnapshot(b *testing.B) {
+	p := gather.NewPairs(1024)
+	for i := 0; i < 1024; i++ {
+		p.Set(types.ProcessID(i), "v")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Snapshot(); s.IsZero() {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// The deferred-copy path: merging fresh pairs into a snapshot-protected
+// set pays exactly one backing copy per snapshot, at first mutation.
+func BenchmarkPairsMergeCOW(b *testing.B) {
+	const n = 256
+	base := gather.NewPairs(n)
+	for i := 0; i < n/2; i++ {
+		base.Set(types.ProcessID(i), "v")
+	}
+	delta := gather.NewPairs(n)
+	for i := n / 2; i < n; i++ {
+		delta.Set(types.ProcessID(i), "w")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := base.Snapshot()
+		if !p.Merge(delta) {
+			b.Fatal("merge conflict")
+		}
+		if p.Len() != n {
+			b.Fatal("merge lost pairs")
+		}
+	}
+}
+
 func BenchmarkSetIntersects(b *testing.B) {
 	x := types.FullSet(64)
 	y := types.NewSetOf(64, 63)
@@ -425,6 +469,7 @@ func BenchmarkSearch(b *testing.B) {
 
 func BenchmarkReliableBroadcastRound(b *testing.B) {
 	trust := quorum.NewThreshold(4, 1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := gather.RunCluster(gather.RunConfig{
 			Kind: gather.KindThreeRound, Trust: trust, Mode: gather.UseReliable,
@@ -488,6 +533,7 @@ func BenchmarkRiderRevealedCoin4(b *testing.B) {
 // unsound) common-core attempt.
 func BenchmarkGatherTwoRoundThreshold(b *testing.B) {
 	trust := quorum.NewThreshold(7, 2)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := trust.N()
 		nodes := make([]sim.Node, n)
@@ -515,6 +561,7 @@ func BenchmarkACSThreshold7(b *testing.B) {
 // Binding gather (E12): the extra-round variant.
 func BenchmarkGatherBindingCounterexample(b *testing.B) {
 	sys := quorum.Counterexample()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n := sys.N()
 		nodes := make([]sim.Node, n)

@@ -38,6 +38,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.NumWaves <= 0 {
 		cfg.NumWaves = 10
 	}
+	if cfg.Latency == nil {
+		// The documented default. Leaving it nil used to fall through to
+		// sim.NewRunner's ConstantLatency(1), a lockstep network that hides
+		// the asynchrony the protocol is supposed to tolerate.
+		cfg.Latency = sim.UniformLatency{Min: 1, Max: 20}
+	}
 	n := cfg.Trust.N()
 	c := &Cluster{cfg: cfg}
 	cn := coin.NewPRF(cfg.CoinSeed, n)

@@ -1,13 +1,17 @@
 // Command benchdiff compares two benchmark recordings produced by
 // `make bench` (BENCH_<date>.json, a `go test -json` stream) and fails on
-// performance regressions: it exits non-zero if any benchmark's ns/op
-// grew by more than the threshold (default 15%).
+// performance regressions: it exits non-zero if any benchmark's ns/op grew
+// by more than -threshold percent, or its allocs/op or B/op grew by more
+// than -allocthreshold percent. The allocation gate is what keeps wins
+// like the copy-on-write gather snapshots durable: a change that preserves
+// ns/op but reintroduces per-event allocation churn fails the diff.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_2026-07-01.json -new BENCH_2026-07-26.json
-//	benchdiff -threshold 10
-//	benchdiff            # diffs the two newest BENCH_*.json in -dir
+//	benchdiff -threshold 10 -allocthreshold 5
+//	benchdiff -allocthreshold -1   # disable the allocation gate
+//	benchdiff                      # diffs the two newest BENCH_*.json in -dir
 //
 // Wired into the build as `make benchcmp`.
 package main
@@ -17,6 +21,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -30,6 +36,7 @@ func main() {
 	newPath := flag.String("new", "", "candidate recording (default: newest BENCH_*.json in -dir)")
 	dir := flag.String("dir", ".", "directory searched when -old/-new are omitted")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op growth in percent")
+	allocThreshold := flag.Float64("allocthreshold", 15, "max allowed allocs/op and B/op growth in percent (negative disables)")
 	flag.Parse()
 
 	if *oldPath == "" || *newPath == "" {
@@ -46,56 +53,115 @@ func main() {
 		}
 	}
 
-	oldNs, err := parseRecording(*oldPath)
+	oldStats, err := parseRecording(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	newNs, err := parseRecording(*newPath)
+	newStats, err := parseRecording(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	fmt.Printf("benchdiff: %s -> %s (threshold %.0f%%)\n", *oldPath, *newPath, *threshold)
-	names := make([]string, 0, len(oldNs))
-	for name := range oldNs {
-		if _, ok := newNs[name]; ok {
+	fmt.Printf("benchdiff: %s -> %s (ns/op threshold %.0f%%, alloc threshold %.0f%%)\n",
+		*oldPath, *newPath, *threshold, *allocThreshold)
+	regressions, compared, err := compare(os.Stdout, oldStats, newStats, *threshold, *allocThreshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond the thresholds\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared, no regression beyond thresholds\n", compared)
+}
+
+// benchStats is one benchmark's recorded metrics. Bytes/Allocs are -1
+// when the recording lacks -benchmem output for that benchmark.
+type benchStats struct {
+	Ns     float64
+	Bytes  float64
+	Allocs float64
+}
+
+// pctDelta is the growth of new over old in percent; growth from zero is
+// +Inf (any appearance of allocations on a previously alloc-free path is
+// a regression, not a divide error).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old * 100
+}
+
+// compare renders the per-benchmark table and counts regressions beyond
+// the thresholds. A negative allocThreshold disables the allocation gate;
+// benchmarks missing allocation stats on either side are gated on ns/op
+// only.
+func compare(w io.Writer, oldStats, newStats map[string]benchStats, nsThreshold, allocThreshold float64) (regressions, compared int, err error) {
+	names := make([]string, 0, len(oldStats))
+	for name := range oldStats {
+		if _, ok := newStats[name]; ok {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
-		os.Exit(2)
+		return 0, 0, fmt.Errorf("benchdiff: no benchmarks in common")
 	}
 
-	regressions := 0
 	for _, name := range names {
-		o, n := oldNs[name], newNs[name]
-		deltaPct := (n - o) / o * 100
+		o, n := oldStats[name], newStats[name]
+		var markers []string
+		nsDelta := pctDelta(o.Ns, n.Ns)
+		if nsDelta > nsThreshold {
+			markers = append(markers, "ns REGRESSION")
+		}
+		allocCol := fmt.Sprintf("%8s %8s %8s", "-", "-", "-")
+		if o.Allocs >= 0 && n.Allocs >= 0 {
+			allocDelta := pctDelta(o.Allocs, n.Allocs)
+			allocCol = fmt.Sprintf("%8.0f %8.0f %+7.1f%%", o.Allocs, n.Allocs, allocDelta)
+			if allocThreshold >= 0 {
+				if allocDelta > allocThreshold {
+					markers = append(markers, "allocs REGRESSION")
+				}
+				if o.Bytes >= 0 && n.Bytes >= 0 && pctDelta(o.Bytes, n.Bytes) > allocThreshold {
+					markers = append(markers, "B/op REGRESSION")
+				}
+			}
+		}
 		marker := ""
-		if deltaPct > *threshold {
-			marker = "  REGRESSION"
-			regressions++
+		if len(markers) > 0 {
+			marker = "  " + strings.Join(markers, ", ")
+			regressions++ // per benchmark, however many metrics tripped
 		}
-		fmt.Printf("%-48s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, deltaPct, marker)
+		fmt.Fprintf(w, "%-48s %14.0f %14.0f %+8.1f%%  %s%s\n", name, o.Ns, n.Ns, nsDelta, allocCol, marker)
 	}
-	for name := range newNs {
-		if _, ok := oldNs[name]; !ok {
-			fmt.Printf("%-48s %14s %14.0f     (new)\n", name, "-", newNs[name])
+	for _, name := range sortedDisjoint(newStats, oldStats) {
+		fmt.Fprintf(w, "%-48s %14s %14.0f     (new)\n", name, "-", newStats[name].Ns)
+	}
+	for _, name := range sortedDisjoint(oldStats, newStats) {
+		fmt.Fprintf(w, "%-48s %14.0f %14s     (removed)\n", name, oldStats[name].Ns, "-")
+	}
+	return regressions, len(names), nil
+}
+
+// sortedDisjoint returns the names in a but not in b, sorted — map
+// iteration order must not leak into the report.
+func sortedDisjoint(a, b map[string]benchStats) []string {
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; !ok {
+			names = append(names, name)
 		}
 	}
-	for name := range oldNs {
-		if _, ok := newNs[name]; !ok {
-			fmt.Printf("%-48s %14.0f %14s     (removed)\n", name, oldNs[name], "-")
-		}
-	}
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, *threshold)
-		os.Exit(1)
-	}
-	fmt.Printf("benchdiff: %d benchmarks compared, no ns/op regression above %.0f%%\n", len(names), *threshold)
+	sort.Strings(names)
+	return names
 }
 
 // latestPair returns the two newest BENCH_*.json files by name (the name
@@ -116,18 +182,19 @@ func latestPair(dir string) (oldest, newest string, err error) {
 // names, so recordings from differently-sized machines still line up.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseRecording extracts ns/op per benchmark from a `go test -json`
+// parseRecording extracts per-benchmark stats from a `go test -json`
 // stream. Benchmark result lines can be split across several Output
-// events, so the events are concatenated per package before scanning. If a
-// benchmark appears multiple times (-count > 1), the minimum is kept —
-// the standard "best of" noise reduction.
-func parseRecording(path string) (map[string]float64, error) {
+// events, so the events are concatenated per package before scanning.
+func parseRecording(path string) (map[string]benchStats, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	return parseStream(f, path)
+}
 
+func parseStream(f io.Reader, path string) (map[string]benchStats, error) {
 	type event struct {
 		Action  string
 		Package string
@@ -159,39 +226,68 @@ func parseRecording(path string) (map[string]float64, error) {
 		return nil, err
 	}
 
-	ns := map[string]float64{}
+	stats := map[string]benchStats{}
 	for _, b := range outputs {
 		for _, line := range strings.Split(b.String(), "\n") {
-			name, value, ok := parseBenchLine(line)
+			name, s, ok := parseBenchLine(line)
 			if !ok {
 				continue
 			}
-			if prev, seen := ns[name]; !seen || value < prev {
-				ns[name] = value
+			// If a benchmark appears multiple times (-count > 1), keep the
+			// per-metric minimum — the standard "best of" noise reduction.
+			if prev, seen := stats[name]; seen {
+				s.Ns = math.Min(s.Ns, prev.Ns)
+				s.Bytes = minMetric(s.Bytes, prev.Bytes)
+				s.Allocs = minMetric(s.Allocs, prev.Allocs)
 			}
+			stats[name] = s
 		}
 	}
-	if len(ns) == 0 {
+	if len(stats) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
 	}
-	return ns, nil
+	return stats, nil
 }
 
-// parseBenchLine extracts (name, ns/op) from one textual benchmark result
-// line, e.g. "BenchmarkFoo-8   	  1234	  56789 ns/op	 12 B/op".
-func parseBenchLine(line string) (string, float64, bool) {
+// minMetric folds two possibly-absent (-1) metric values.
+func minMetric(a, b float64) float64 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	return math.Min(a, b)
+}
+
+// parseBenchLine extracts (name, stats) from one textual benchmark result
+// line, e.g.
+//
+//	BenchmarkFoo-8   	  1234	  56789 ns/op	 512 B/op	 12 allocs/op
+//
+// B/op and allocs/op are -1 when the line lacks them (no -benchmem).
+func parseBenchLine(line string) (string, benchStats, bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return "", 0, false
+		return "", benchStats{}, false
 	}
 	fields := strings.Fields(line)
+	s := benchStats{Ns: -1, Bytes: -1, Allocs: -1}
 	for i := 2; i < len(fields); i++ {
-		if fields[i] == "ns/op" && i > 0 {
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			return cpuSuffix.ReplaceAllString(fields[0], ""), v, true
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i] {
+		case "ns/op":
+			s.Ns = v
+		case "B/op":
+			s.Bytes = v
+		case "allocs/op":
+			s.Allocs = v
 		}
 	}
-	return "", 0, false
+	if s.Ns < 0 {
+		return "", benchStats{}, false
+	}
+	return cpuSuffix.ReplaceAllString(fields[0], ""), s, true
 }

@@ -1,36 +1,52 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-func TestParseBenchLine(t *testing.T) {
-	name, v, ok := parseBenchLine("BenchmarkRiderAsymmetric4-8 \t     100\t  12345678 ns/op\t  42 B/op")
-	if !ok || name != "BenchmarkRiderAsymmetric4" || v != 12345678 {
-		t.Fatalf("got %q %v %v", name, v, ok)
+func TestParseBenchLineMetrics(t *testing.T) {
+	name, s, ok := parseBenchLine("BenchmarkFoo-8   \t  1234\t  56789 ns/op\t 512 B/op\t 12 allocs/op")
+	if !ok || name != "BenchmarkFoo" {
+		t.Fatalf("parse failed: ok=%v name=%q", ok, name)
 	}
+	if s.Ns != 56789 || s.Bytes != 512 || s.Allocs != 12 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// Without -benchmem the allocation metrics are marked absent.
+	name, s, ok = parseBenchLine("BenchmarkBar-4   \t  99\t  1000 ns/op")
+	if !ok || name != "BenchmarkBar" || s.Ns != 1000 {
+		t.Fatalf("ns-only parse: ok=%v name=%q stats=%+v", ok, name, s)
+	}
+	if s.Bytes != -1 || s.Allocs != -1 {
+		t.Fatalf("absent metrics not marked: %+v", s)
+	}
+
+	// Custom metrics (waves/commit etc.) must not confuse the parser.
+	_, s, ok = parseBenchLine("BenchmarkBaz-8   \t 10\t 5 ns/op\t 3.50 waves/commit\t 7 allocs/op")
+	if !ok || s.Ns != 5 || s.Allocs != 7 {
+		t.Fatalf("custom-metric line: ok=%v stats=%+v", ok, s)
+	}
+
 	if _, _, ok := parseBenchLine("goos: linux"); ok {
 		t.Error("non-benchmark line parsed")
 	}
 	if _, _, ok := parseBenchLine("BenchmarkNoResult"); ok {
 		t.Error("result-less benchmark line parsed")
 	}
-	// Custom metrics after ns/op must not confuse the parser.
-	name, v, ok = parseBenchLine("BenchmarkCommitWaves-4 \t 7 \t 99 ns/op \t 1.50 waves/commit")
-	if !ok || name != "BenchmarkCommitWaves" || v != 99 {
-		t.Fatalf("got %q %v %v", name, v, ok)
-	}
 }
 
 // writeRecording emits a minimal go test -json stream with one benchmark
 // result split across two Output events (as real streams do).
-func writeRecording(t *testing.T, path string, ns int) {
+func writeRecording(t *testing.T, path string) {
 	t.Helper()
 	content := `{"Action":"output","Package":"repro","Output":"goos: linux\n"}
 {"Action":"output","Package":"repro","Output":"BenchmarkSplit-8 \t"}
-{"Action":"output","Package":"repro","Output":"     100\t  ` + itoa(ns) + ` ns/op\n"}
+{"Action":"output","Package":"repro","Output":"     100\t  1000 ns/op\t 64 B/op\t 4 allocs/op\n"}
 {"Action":"output","Package":"repro","Output":"BenchmarkWhole-8 \t 50 \t 2000 ns/op\n"}
 `
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
@@ -38,34 +54,113 @@ func writeRecording(t *testing.T, path string, ns int) {
 	}
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var b []byte
-	for v > 0 {
-		b = append([]byte{byte('0' + v%10)}, b...)
-		v /= 10
-	}
-	return string(b)
-}
-
 func TestParseRecordingJoinsSplitOutput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_a.json")
-	writeRecording(t, path, 1000)
-	ns, err := parseRecording(path)
+	writeRecording(t, path)
+	stats, err := parseRecording(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ns["BenchmarkSplit"] != 1000 || ns["BenchmarkWhole"] != 2000 {
-		t.Fatalf("parsed %v", ns)
+	if s := stats["BenchmarkSplit"]; s.Ns != 1000 || s.Bytes != 64 || s.Allocs != 4 {
+		t.Fatalf("split line parsed as %+v", s)
+	}
+	if s := stats["BenchmarkWhole"]; s.Ns != 2000 || s.Allocs != -1 {
+		t.Fatalf("ns-only line parsed as %+v", s)
+	}
+}
+
+func TestParseStreamBestOfFoldsEachMetric(t *testing.T) {
+	// -count > 1 repetition: the per-metric minimum must be kept, even
+	// when the minima come from different repetitions.
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkFoo-8   100   200 ns/op   64 B/op   4 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkFoo-8   100   150 ns/op   80 B/op   6 allocs/op\n"}
+`
+	stats, err := parseStream(strings.NewReader(stream), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats["BenchmarkFoo"]
+	if s.Ns != 150 || s.Bytes != 64 || s.Allocs != 4 {
+		t.Fatalf("best-of fold wrong: %+v", s)
+	}
+}
+
+func TestCompareGatesEachMetric(t *testing.T) {
+	oldStats := map[string]benchStats{
+		"BenchmarkNs":     {Ns: 100, Bytes: 100, Allocs: 10},
+		"BenchmarkAllocs": {Ns: 100, Bytes: 100, Allocs: 10},
+		"BenchmarkBytes":  {Ns: 100, Bytes: 100, Allocs: 10},
+		"BenchmarkClean":  {Ns: 100, Bytes: 100, Allocs: 10},
+		"BenchmarkNoMem":  {Ns: 100, Bytes: -1, Allocs: -1},
+	}
+	newStats := map[string]benchStats{
+		"BenchmarkNs":     {Ns: 200, Bytes: 100, Allocs: 10}, // ns regression
+		"BenchmarkAllocs": {Ns: 100, Bytes: 100, Allocs: 30}, // allocs regression
+		"BenchmarkBytes":  {Ns: 100, Bytes: 300, Allocs: 10}, // B/op regression
+		"BenchmarkClean":  {Ns: 105, Bytes: 101, Allocs: 10}, // within thresholds
+		"BenchmarkNoMem":  {Ns: 100, Bytes: -1, Allocs: -1},  // ns gate only
+	}
+	var out strings.Builder
+	regressions, compared, err := compare(&out, oldStats, newStats, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 5 {
+		t.Fatalf("compared = %d, want 5", compared)
+	}
+	if regressions != 3 {
+		t.Fatalf("regressions = %d, want 3\n%s", regressions, out.String())
+	}
+	for _, want := range []string{"ns REGRESSION", "allocs REGRESSION", "B/op REGRESSION"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// Disabling the allocation gate leaves only the ns regression.
+	regressions, _, err = compare(&strings.Builder{}, oldStats, newStats, 15, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("with alloc gate off, regressions = %d, want 1", regressions)
+	}
+}
+
+func TestCompareAllocsFromZeroIsRegression(t *testing.T) {
+	oldStats := map[string]benchStats{"BenchmarkZero": {Ns: 100, Bytes: 0, Allocs: 0}}
+	newStats := map[string]benchStats{"BenchmarkZero": {Ns: 100, Bytes: 16, Allocs: 1}}
+	regressions, _, err := compare(&strings.Builder{}, oldStats, newStats, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// allocs 0 -> 1 and B/op 0 -> 16 are both infinite growth: the one
+	// alloc-free benchmark that starts allocating must fail the gate
+	// (counted once, however many of its metrics tripped).
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	if d := pctDelta(0, 1); !math.IsInf(d, 1) {
+		t.Fatalf("pctDelta(0, 1) = %v, want +Inf", d)
+	}
+	if d := pctDelta(0, 0); d != 0 {
+		t.Fatalf("pctDelta(0, 0) = %v, want 0", d)
+	}
+}
+
+func TestCompareNoCommonBenchmarks(t *testing.T) {
+	_, _, err := compare(&strings.Builder{},
+		map[string]benchStats{"BenchmarkA": {Ns: 1}},
+		map[string]benchStats{"BenchmarkB": {Ns: 1}}, 15, 15)
+	if err == nil {
+		t.Fatal("disjoint recordings must error")
 	}
 }
 
 func TestLatestPair(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2026-07-01.json", "BENCH_2026-07-26.json", "BENCH_2026-06-15.json"} {
-		writeRecording(t, filepath.Join(dir, name), 100)
+		writeRecording(t, filepath.Join(dir, name))
 	}
 	o, n, err := latestPair(dir)
 	if err != nil {

@@ -32,6 +32,18 @@
 //     path; the naive set-loop references remain as *Naive methods,
 //     differential-tested against the compiled forms on hundreds of
 //     random systems per `go test ./...`.
+//   - Copy-on-write pair-set snapshots and pooled broadcast fan-out: the
+//     gather S/T/U sets (gather.Pairs) snapshot in O(1) at every quorum
+//     trigger — Snapshot marks the backing storage shared and the first
+//     post-snapshot mutation copies it, so a broadcast payload can never
+//     observe later changes of the live set (a differential suite pins
+//     the aliasing semantics against a naive deep-copy reference). The
+//     simulator delivers events through pooled per-process Envs and a
+//     fan-out fast path that does per-message bookkeeping once per
+//     broadcast, and the gather pending-acceptance buffers and DAG vertex
+//     key digests run on free-lists — event delivery itself is
+//     allocation-free, and cmd/benchdiff gates allocs/op and B/op next
+//     to ns/op so the reduction stays durable.
 //   - A parallel multi-seed sweep engine (internal/sim Sweep/Reduce and
 //     the internal/harness Sweeper): independent seeded executions fan out
 //     over a bounded worker pool with deterministic, worker-count-

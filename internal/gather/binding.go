@@ -90,7 +90,7 @@ func (n *BindingNode) afterInner(env sim.Env) {
 		return
 	}
 	n.sentU = true
-	env.Broadcast(distUMsg{From: n.inner.self, U: u.Clone()})
+	env.Broadcast(distUMsg{From: n.inner.self, U: u.Snapshot()})
 }
 
 func (n *BindingNode) acceptU(from types.ProcessID, u Pairs) {
@@ -98,7 +98,7 @@ func (n *BindingNode) acceptU(from types.ProcessID, u Pairs) {
 	n.uFrom.Add(from)
 	if !n.delivered && n.uFrom.HasQuorum() {
 		n.delivered = true
-		n.output = n.v.Clone()
+		n.output = n.v.Snapshot()
 	}
 }
 

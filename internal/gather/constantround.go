@@ -117,7 +117,7 @@ func (n *ConstantRoundNode) onInput(env sim.Env, src types.ProcessID, value stri
 	n.sSenders.Add(src)
 	if !n.sentS && n.sSenders.HasQuorum() {
 		n.sentS = true
-		n.sSnapshot = n.s.Clone()
+		n.sSnapshot = n.s.Snapshot()
 		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
 	}
 	// Wake exactly the buffered DISTRIBUTE sets waiting on this delivery.
@@ -144,7 +144,7 @@ func (n *ConstantRoundNode) acceptT(env sim.Env, from types.ProcessID, t Pairs) 
 	n.tFrom.Add(from)
 	if !n.delivered && n.tFrom.HasQuorum() {
 		n.delivered = true
-		n.output = n.u.Clone()
+		n.output = n.u.Snapshot()
 	}
 }
 
@@ -185,7 +185,7 @@ func (n *ConstantRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.M
 		if !n.sentT && n.confirms.HasQuorum() {
 			n.sentT = true
 			n.pendingS.clear() // stop acknowledging
-			env.Broadcast(distTMsg{From: n.self, T: n.t.Clone()})
+			env.Broadcast(distTMsg{From: n.self, T: n.t.Snapshot()})
 		}
 	case distTMsg:
 		if m.From != from || !m.T.wireValid(env.N()) {
@@ -208,8 +208,8 @@ func (n *ConstantRoundNode) Delivered() (Pairs, bool) {
 // SentS returns the S snapshot this node distributed (zero until sent).
 func (n *ConstantRoundNode) SentS() Pairs { return n.sSnapshot }
 
-// KnownInputs returns a copy of every (process, value) pair this node has
-// arb-delivered so far — a superset of the delivered U set. Composed
-// protocols (internal/acs) use it to look up values for processes whose
-// inclusion was agreed on.
-func (n *ConstantRoundNode) KnownInputs() Pairs { return n.s.Clone() }
+// KnownInputs returns a copy (a copy-on-write snapshot) of every
+// (process, value) pair this node has arb-delivered so far — a superset
+// of the delivered U set. Composed protocols (internal/acs) use it to
+// look up values for processes whose inclusion was agreed on.
+func (n *ConstantRoundNode) KnownInputs() Pairs { return n.s.Snapshot() }

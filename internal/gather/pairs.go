@@ -12,6 +12,19 @@
 //     DISTRIBUTE_T control flow.
 //   - Abstract round-merge model: the pure-set-algebra execution of
 //     Listing 1, used to regenerate Figures 2–4 exactly.
+//
+// # Snapshot / copy-on-write contract
+//
+// Every protocol here snapshots its S/T/U pair-set at a quorum trigger and
+// broadcasts the snapshot while the live set keeps growing. Pairs.Snapshot
+// makes that O(1): it marks the backing storage shared and returns an
+// aliasing view; the first subsequent mutation of any alias (Set and Merge
+// check the shared flag) copies the backing before writing, so a snapshot
+// can never observe changes made after it was taken. Clone remains an
+// eager deep copy for callers that want immediately independent storage.
+// The differential suite in pairs_cow_test.go pins the copy-on-write
+// semantics against a naive deep-copy reference over randomized op
+// sequences.
 package gather
 
 import (
@@ -34,14 +47,27 @@ import (
 // DISTRIBUTE message — is then a word-parallel bitset check followed by
 // value comparisons for other's members only, with no map hashing or
 // iteration; Merge and Clone are word-ors and slice copies.
+//
+// The backing storage is copy-on-write: Snapshot marks it shared in O(1)
+// and the mutators (Set, Merge) copy before their first write to a shared
+// backing. Mutators therefore use pointer receivers — the copy-on-write
+// swap must be visible through the caller's variable. Plain struct
+// assignment still aliases the backing without marking it (both copies
+// observe each other's writes, exactly as before the COW rewrite); use
+// Snapshot whenever one side must stay frozen.
 type Pairs struct {
 	senders types.Set
 	vals    []string
+	// shared, when true, marks senders/vals as aliased by a snapshot (or
+	// by the snapshot's parent): mutators must copy before writing. The
+	// flag is a pointer so that every alias of one backing — however the
+	// aliasing arose — sees the mark; it is nil only in the zero value.
+	shared *bool
 }
 
 // NewPairs returns an empty pair set over a universe of n processes.
 func NewPairs(n int) Pairs {
-	return Pairs{senders: types.NewSet(n), vals: make([]string, n)}
+	return Pairs{senders: types.NewSet(n), vals: make([]string, n), shared: new(bool)}
 }
 
 // PairsOf builds a pair set over a universe of n from a literal map
@@ -58,14 +84,47 @@ func PairsOf(n int, m map[types.ProcessID]string) Pairs {
 // empty set). Nodes use it for "not yet sent/delivered" sentinels.
 func (p Pairs) IsZero() bool { return p.vals == nil }
 
-// Clone returns an independent copy.
+// Clone returns an eagerly independent deep copy. Hot paths that only
+// need a frozen view should use Snapshot, which defers the copy until a
+// mutation actually happens (and avoids it entirely for sets that never
+// change again).
 func (p Pairs) Clone() Pairs {
 	if p.IsZero() {
 		return p
 	}
-	c := Pairs{senders: p.senders.Clone(), vals: make([]string, len(p.vals))}
+	c := Pairs{senders: p.senders.Clone(), vals: make([]string, len(p.vals)), shared: new(bool)}
 	copy(c.vals, p.vals)
 	return c
+}
+
+// Snapshot returns an O(1) frozen view of p: the snapshot and p keep
+// sharing the backing storage until either next mutates, at which point
+// the mutator copies the backing first (copy-on-write). The snapshot is
+// therefore immune to later changes of p — this is what the gather
+// protocols rely on when they broadcast the set captured at a quorum
+// trigger and keep merging deliveries into the live set afterwards.
+// A zero Pairs snapshots to a zero Pairs.
+func (p *Pairs) Snapshot() Pairs {
+	if p.IsZero() {
+		return Pairs{}
+	}
+	*p.shared = true
+	return *p
+}
+
+// ensureOwned makes p the sole owner of its backing storage, copying it
+// if a snapshot still aliases it. Mutators call it before their first
+// write; reads never need it. The old backing (and its shared flag) stays
+// with the snapshots; the fresh backing starts unshared.
+func (p *Pairs) ensureOwned() {
+	if p.shared == nil || !*p.shared {
+		return
+	}
+	p.senders = p.senders.Clone()
+	vals := make([]string, len(p.vals))
+	copy(vals, p.vals)
+	p.vals = vals
+	p.shared = new(bool)
 }
 
 // Get returns the value associated with process k, if any.
@@ -83,10 +142,11 @@ func (p Pairs) Contains(k types.ProcessID) bool {
 
 // Set associates value v with process k, returning false if a conflicting
 // value is already present (the caller should then reject the message).
-func (p Pairs) Set(k types.ProcessID, v string) bool {
+func (p *Pairs) Set(k types.ProcessID, v string) bool {
 	if p.senders.Contains(k) {
 		return p.vals[k] == v
 	}
+	p.ensureOwned()
 	p.senders.Add(k)
 	p.vals[k] = v
 	return true
@@ -121,12 +181,23 @@ func (p Pairs) ContainsAll(other Pairs) bool {
 
 // Merge adds every pair of other into p. It returns false (and leaves the
 // remaining pairs merged) if any pair conflicts with an existing value.
-func (p Pairs) Merge(other Pairs) bool {
+func (p *Pairs) Merge(other Pairs) bool {
 	if other.IsZero() {
 		return true
 	}
-	ok := true
 	pw, ow := p.senders.Words(), other.senders.Words()
+	for wi, w := range ow {
+		if w&^pw[wi] != 0 {
+			// other contributes at least one new pair, so a write is
+			// coming: copy-on-write now. Conflict-only merges (and merges
+			// of subsets, including self-merges through a snapshot) never
+			// write and never copy.
+			p.ensureOwned()
+			pw = p.senders.Words()
+			break
+		}
+	}
+	ok := true
 	for wi, w := range ow {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)

@@ -1,0 +1,249 @@
+package gather
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// naivePairs is the retained deep-copy reference implementation of the
+// pair-set semantics: a plain map, every clone and snapshot an eager full
+// copy. The differential suite below drives it in lockstep with the
+// copy-on-write Pairs — aliasing bugs are the classic COW failure mode,
+// and this is the oracle that catches them.
+type naivePairs struct {
+	n int
+	m map[types.ProcessID]string
+}
+
+func newNaivePairs(n int) *naivePairs {
+	return &naivePairs{n: n, m: map[types.ProcessID]string{}}
+}
+
+func (p *naivePairs) set(k types.ProcessID, v string) bool {
+	if old, ok := p.m[k]; ok {
+		return old == v
+	}
+	p.m[k] = v
+	return true
+}
+
+func (p *naivePairs) merge(other *naivePairs) bool {
+	ok := true
+	for k := types.ProcessID(0); int(k) < p.n; k++ {
+		v, present := other.m[k]
+		if !present {
+			continue
+		}
+		if old, had := p.m[k]; had {
+			if old != v {
+				ok = false
+			}
+		} else {
+			p.m[k] = v
+		}
+	}
+	return ok
+}
+
+func (p *naivePairs) containsAll(other *naivePairs) bool {
+	for k, v := range other.m {
+		if got, ok := p.m[k]; !ok || got != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *naivePairs) clone() *naivePairs {
+	c := newNaivePairs(p.n)
+	for k, v := range p.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// requirePairsEqual asserts that the COW instance and the naive reference
+// expose identical observable state through every read accessor.
+func requirePairsEqual(t *testing.T, label string, cow Pairs, ref *naivePairs) {
+	t.Helper()
+	if cow.Len() != len(ref.m) {
+		t.Fatalf("%s: Len %d, reference has %d", label, cow.Len(), len(ref.m))
+	}
+	for k := types.ProcessID(0); int(k) < ref.n; k++ {
+		wantV, want := ref.m[k]
+		gotV, got := cow.Get(k)
+		if got != want || gotV != wantV {
+			t.Fatalf("%s: Get(%d) = (%q,%v), reference (%q,%v)", label, k, gotV, got, wantV, want)
+		}
+		if cow.Contains(k) != want {
+			t.Fatalf("%s: Contains(%d) = %v, reference %v", label, k, cow.Contains(k), want)
+		}
+	}
+	m := cow.Map()
+	if len(m) != len(ref.m) {
+		t.Fatalf("%s: Map has %d entries, reference %d", label, len(m), len(ref.m))
+	}
+	for k, v := range ref.m {
+		if m[k] != v {
+			t.Fatalf("%s: Map[%d] = %q, reference %q", label, k, m[k], v)
+		}
+	}
+}
+
+// TestPairsCOWDifferential drives random op sequences — Set, Merge,
+// Clone, Snapshot, Get, Contains, ContainsAll — against both the COW
+// Pairs and the naive deep-copy reference, asserting identical observable
+// state across every live instance after every op. Snapshots are the
+// interesting part: the naive model copies eagerly, so any COW aliasing
+// leak (a mutation bleeding into a snapshot, or a snapshot pinning stale
+// state) shows up as a divergence.
+func TestPairsCOWDifferential(t *testing.T) {
+	const (
+		seeds     = 200
+		opsPerRun = 120
+		maxInsts  = 8
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(80) // spans single- and multi-word bitsets
+		vals := []string{"a", "b", "c"}
+
+		cows := []Pairs{NewPairs(n)}
+		refs := []*naivePairs{newNaivePairs(n)}
+
+		place := func(cow Pairs, ref *naivePairs) {
+			if len(cows) < maxInsts {
+				cows = append(cows, cow)
+				refs = append(refs, ref)
+			} else {
+				at := rng.Intn(len(cows))
+				cows[at] = cow
+				refs[at] = ref
+			}
+		}
+
+		for op := 0; op < opsPerRun; op++ {
+			i := rng.Intn(len(cows))
+			label := fmt.Sprintf("seed %d op %d inst %d", seed, op, i)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // Set
+				k := types.ProcessID(rng.Intn(n))
+				v := vals[rng.Intn(len(vals))]
+				if got, want := cows[i].Set(k, v), refs[i].set(k, v); got != want {
+					t.Fatalf("%s: Set(%d,%q) = %v, reference %v", label, k, v, got, want)
+				}
+			case 4, 5: // Merge
+				j := rng.Intn(len(cows))
+				if got, want := cows[i].Merge(cows[j]), refs[i].merge(refs[j]); got != want {
+					t.Fatalf("%s: Merge(inst %d) = %v, reference %v", label, j, got, want)
+				}
+			case 6: // Clone
+				place(cows[i].Clone(), refs[i].clone())
+			case 7, 8: // Snapshot (naive model: an eager deep copy)
+				place(cows[i].Snapshot(), refs[i].clone())
+			case 9: // ContainsAll
+				j := rng.Intn(len(cows))
+				if got, want := cows[i].ContainsAll(cows[j]), refs[i].containsAll(refs[j]); got != want {
+					t.Fatalf("%s: ContainsAll(inst %d) = %v, reference %v", label, j, got, want)
+				}
+			}
+			for x := range cows {
+				requirePairsEqual(t, fmt.Sprintf("%s check inst %d", label, x), cows[x], refs[x])
+			}
+		}
+	}
+}
+
+// TestPairsSnapshotImmuneToLaterMutations is the broadcast-path
+// regression: the snapshot a node broadcasts at a quorum trigger must not
+// change when the sender's live set keeps growing afterwards — in either
+// direction.
+func TestPairsSnapshotImmuneToLaterMutations(t *testing.T) {
+	p := NewPairs(70)
+	p.Set(0, "a")
+	p.Set(65, "b")
+
+	snap := p.Snapshot()
+	p.Set(2, "c")
+	p.Merge(PairsOf(70, map[types.ProcessID]string{3: "d", 64: "e"}))
+
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot grew to %d pairs after sender mutations", snap.Len())
+	}
+	for _, k := range []types.ProcessID{2, 3, 64} {
+		if snap.Contains(k) {
+			t.Fatalf("snapshot absorbed pair %d added after the trigger", k)
+		}
+	}
+	if v, _ := snap.Get(0); v != "a" {
+		t.Fatalf("snapshot value for 0 changed to %q", v)
+	}
+
+	// The reverse direction: mutating a snapshot must not leak into the
+	// live set (a receiver merging into a delivered output, say).
+	snap2 := p.Snapshot()
+	snap2.Set(10, "z")
+	if p.Contains(10) {
+		t.Fatal("mutating a snapshot leaked into its parent")
+	}
+	if !snap2.Contains(10) {
+		t.Fatal("snapshot mutation lost")
+	}
+
+	// Snapshot of a snapshot freezes independently too.
+	s3 := snap2.Snapshot()
+	snap2.Set(11, "y")
+	if s3.Contains(11) {
+		t.Fatal("second-level snapshot absorbed a later mutation")
+	}
+}
+
+// TestPairsSnapshotIsO1 pins the tentpole: taking a snapshot must not
+// copy the backing storage, regardless of the set's size.
+func TestPairsSnapshotIsO1(t *testing.T) {
+	p := NewPairs(1024)
+	for i := 0; i < 1024; i++ {
+		p.Set(types.ProcessID(i), "v")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if s := p.Snapshot(); s.Len() != 1024 {
+			t.Fatal("bad snapshot")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// TestPairsSnapshotZero covers the zero-value sentinel: nodes snapshot
+// only after initialization, but analysis code snapshots whatever it got.
+func TestPairsSnapshotZero(t *testing.T) {
+	var p Pairs
+	s := p.Snapshot()
+	if !s.IsZero() {
+		t.Fatal("snapshot of zero Pairs is not zero")
+	}
+}
+
+// TestPairsMergeSharedDoesNotCopyForSubsets: merging a subset (including
+// a snapshot of the receiver itself) must not trigger the COW copy — the
+// fast path the DISTRIBUTE handlers hit once their T/U sets have
+// converged.
+func TestPairsMergeSharedDoesNotCopyForSubsets(t *testing.T) {
+	p := NewPairs(64)
+	for i := 0; i < 64; i++ {
+		p.Set(types.ProcessID(i), "v")
+	}
+	snap := p.Snapshot()
+	allocs := testing.AllocsPerRun(100, func() {
+		if !p.Merge(snap) {
+			t.Fatal("self-subset merge must succeed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("subset merge into a shared Pairs allocates %.0f objects, want 0", allocs)
+	}
+}

@@ -120,7 +120,7 @@ func (n *ThreeRoundNode) maybeSendS(env sim.Env) {
 		return
 	}
 	n.sentS = true
-	n.sSnapshot = n.s.Clone()
+	n.sSnapshot = n.s.Snapshot()
 	env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
 }
 
@@ -154,7 +154,7 @@ func (n *ThreeRoundNode) maybeSendT(env sim.Env) {
 		return
 	}
 	n.sentT = true
-	env.Broadcast(distTMsg{From: n.self, T: n.t.Clone()})
+	env.Broadcast(distTMsg{From: n.self, T: n.t.Snapshot()})
 }
 
 func (n *ThreeRoundNode) maybeDeliver(env sim.Env) {
@@ -162,7 +162,7 @@ func (n *ThreeRoundNode) maybeDeliver(env sim.Env) {
 		return
 	}
 	n.delivered = true
-	n.output = n.u.Clone()
+	n.output = n.u.Snapshot()
 }
 
 // Delivered returns the g-delivered set, if any.

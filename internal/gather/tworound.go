@@ -69,7 +69,7 @@ func (n *TwoRoundNode) onInput(env sim.Env, src types.ProcessID, value string) {
 	n.sSenders.Add(src)
 	if !n.sentS && n.sSenders.HasQuorum() {
 		n.sentS = true
-		n.sSnapshot = n.s.Clone()
+		n.sSnapshot = n.s.Snapshot()
 		env.Broadcast(distSMsg{From: n.self, S: n.sSnapshot})
 	}
 }
@@ -87,7 +87,7 @@ func (n *TwoRoundNode) Receive(env sim.Env, from types.ProcessID, msg sim.Messag
 	n.sFrom.Add(from)
 	if !n.delivered && n.sFrom.HasQuorum() {
 		n.delivered = true
-		n.output = n.u.Clone()
+		n.output = n.u.Snapshot()
 	}
 }
 

@@ -8,7 +8,8 @@ package rider
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
+	"sync"
 
 	"repro/internal/broadcast"
 	"repro/internal/dag"
@@ -25,22 +26,43 @@ type VertexPayload struct {
 
 var _ broadcast.Payload = VertexPayload{}
 
+// keyBufPool recycles the scratch buffers Key builds its digest in.
+// Reliable broadcast calls Key on every SEND/ECHO/READY it handles, so a
+// fresh builder per call churned the GC during vertex fan-out; with the
+// pool only the returned string allocates.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// appendEdgeRefs appends one "<tag><source>.<round>," segment per edge.
+func appendEdgeRefs(b []byte, tag byte, edges []dag.VertexRef) []byte {
+	for _, e := range edges {
+		b = append(b, tag)
+		b = strconv.AppendInt(b, int64(e.Source), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(e.Round), 10)
+		b = append(b, ',')
+	}
+	return b
+}
+
 // Key implements broadcast.Payload.
 func (p VertexPayload) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|", int(p.V.Source), p.V.Round)
+	bp := keyBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = strconv.AppendInt(b, int64(p.V.Source), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(p.V.Round), 10)
+	b = append(b, '|')
 	for _, tx := range p.V.Block {
-		b.WriteString(tx)
-		b.WriteByte(0)
+		b = append(b, tx...)
+		b = append(b, 0)
 	}
-	b.WriteByte('|')
-	for _, e := range p.V.StrongEdges {
-		fmt.Fprintf(&b, "s%d.%d,", int(e.Source), e.Round)
-	}
-	for _, e := range p.V.WeakEdges {
-		fmt.Fprintf(&b, "w%d.%d,", int(e.Source), e.Round)
-	}
-	return b.String()
+	b = append(b, '|')
+	b = appendEdgeRefs(b, 's', p.V.StrongEdges)
+	b = appendEdgeRefs(b, 'w', p.V.WeakEdges)
+	key := string(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return key
 }
 
 // SimSize implements sim.Sizer: headers plus transactions plus edges.

@@ -1,9 +1,12 @@
 package rider
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/types"
 )
 
 func TestWaveRoundMapping(t *testing.T) {
@@ -202,4 +205,43 @@ func TestOrderVerticesStackOrder(t *testing.T) {
 			t.Error("b1 should not be delivered")
 		}
 	}
+}
+
+// TestVertexPayloadKeyFormat pins the exact digest layout against an
+// independently (fmt-) built expectation: the pooled-buffer Key rewrite
+// must produce byte-identical digests, since reliable broadcast treats
+// two payloads as "the same message" exactly when their keys are equal.
+func TestVertexPayloadKeyFormat(t *testing.T) {
+	v := &dag.Vertex{
+		Source: 3, Round: 12, Block: []string{"tx-1", "tx-2"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 11}, {Source: 2, Round: 11}},
+		WeakEdges:   []dag.VertexRef{{Source: 1, Round: 9}},
+	}
+	want := fmt.Sprintf("%d|%d|tx-1\x00tx-2\x00|s%d.%d,s%d.%d,w%d.%d,", 3, 12, 0, 11, 2, 11, 1, 9)
+	if got := (VertexPayload{V: v}).Key(); got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+}
+
+// TestVertexPayloadKeyPooledBufferReuse hammers Key from several
+// goroutines to shake out scratch-buffer aliasing (the returned strings
+// must be stable even while the pooled buffers are recycled).
+func TestVertexPayloadKeyPooledBufferReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := &dag.Vertex{Source: types.ProcessID(g), Round: i, Block: []string{fmt.Sprintf("tx-%d-%d", g, i)}}
+				k1 := (VertexPayload{V: v}).Key()
+				k2 := (VertexPayload{V: v}).Key()
+				if k1 != k2 {
+					t.Errorf("key unstable: %q vs %q", k1, k2)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -92,17 +92,24 @@ func (c ConstantLatency) Delay(_, _ types.ProcessID, _ Message, _ VirtualTime, _
 	return VirtualTime(c)
 }
 
-// UniformLatency delays messages uniformly in [Min, Max].
+// UniformLatency delays messages uniformly in [Min, Max]. An inverted
+// range (Max < Min) is normalized by swapping the bounds, so a transposed
+// literal behaves like the range its author meant instead of silently
+// collapsing every delay to Min and masking the misconfiguration.
 type UniformLatency struct {
 	Min, Max VirtualTime
 }
 
 // Delay implements LatencyModel.
 func (u UniformLatency) Delay(_, _ types.ProcessID, _ Message, _ VirtualTime, rng *rand.Rand) VirtualTime {
-	if u.Max <= u.Min {
-		return u.Min
+	lo, hi := u.Min, u.Max
+	if hi < lo {
+		lo, hi = hi, lo
 	}
-	return u.Min + VirtualTime(rng.Int63n(int64(u.Max-u.Min+1)))
+	if hi == lo {
+		return lo
+	}
+	return lo + VirtualTime(rng.Int63n(int64(hi-lo+1)))
 }
 
 // LatencyFunc adapts a function to a LatencyModel.
@@ -124,9 +131,12 @@ type FavoredLinksLatency struct {
 	Slow    VirtualTime
 }
 
-// Delay implements LatencyModel.
+// Delay implements LatencyModel. A receiver outside the Favored slice (a
+// nil slice, or an ID past its end — e.g. a model built for a smaller
+// cluster) falls back to Slow: an unconfigured link is simply not
+// favored, rather than an index panic deep inside a run.
 func (f FavoredLinksLatency) Delay(from, to types.ProcessID, _ Message, _ VirtualTime, _ *rand.Rand) VirtualTime {
-	if f.Favored[to].Contains(from) {
+	if int(to) < len(f.Favored) && f.Favored[to].Contains(from) {
 		return f.Fast
 	}
 	return f.Slow
@@ -253,6 +263,14 @@ type Runner struct {
 	metrics *Metrics
 	inited  bool
 
+	// envs holds one pre-built Env per process, reused for every Init and
+	// Receive call. Boxing a fresh env value per delivered event used to be
+	// the single largest allocator in message-heavy runs (one interface
+	// allocation per delivery); the pool makes event delivery alloc-free.
+	// Nodes must not retain an Env beyond the call (the Env contract), and
+	// each env is immutable after construction, so reuse is safe.
+	envs []env
+
 	// typeCounts accumulates per-message-type counters keyed by dynamic
 	// type; the string-keyed Metrics.ByType view is materialized lazily by
 	// Metrics(). Formatting "%T" per send used to show up in profiles.
@@ -273,57 +291,113 @@ func NewRunner(cfg Config, nodes []Node) *Runner {
 	if cfg.Latency == nil {
 		cfg.Latency = ConstantLatency(1)
 	}
-	return &Runner{
+	r := &Runner{
 		cfg:        cfg,
 		nodes:      nodes,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		metrics:    newMetrics(),
+		envs:       make([]env, cfg.N),
 		typeCounts: map[reflect.Type]*typeCounter{},
 	}
+	for i := range r.envs {
+		r.envs[i] = env{r: r, self: types.ProcessID(i)}
+	}
+	return r
 }
 
-// env is the per-call Env implementation.
+// env is the per-process Env implementation, pooled on the Runner.
 type env struct {
 	r    *Runner
 	self types.ProcessID
 }
 
-func (e env) Self() types.ProcessID { return e.self }
-func (e env) N() int                { return e.r.cfg.N }
-func (e env) Now() VirtualTime      { return e.r.now }
-func (e env) Rand() *rand.Rand      { return e.r.rng }
+func (e *env) Self() types.ProcessID { return e.self }
+func (e *env) N() int                { return e.r.cfg.N }
+func (e *env) Now() VirtualTime      { return e.r.now }
+func (e *env) Rand() *rand.Rand      { return e.r.rng }
 
-func (e env) Send(to types.ProcessID, msg Message) {
+func (e *env) Send(to types.ProcessID, msg Message) {
 	e.r.send(e.self, to, msg)
 }
 
-func (e env) Broadcast(msg Message) {
-	for to := 0; to < e.r.cfg.N; to++ {
-		e.r.send(e.self, types.ProcessID(to), msg)
-	}
+func (e *env) Broadcast(msg Message) {
+	e.r.broadcast(e.self, msg)
 }
 
-func (r *Runner) send(from, to types.ProcessID, msg Message) {
-	// Filtered messages never reach the network: they count only as
-	// MessagesDropped, not towards MessagesSent/BytesSent/ByType, so
-	// experiment metrics reflect actual traffic.
-	if r.cfg.Filter != nil && !r.cfg.Filter(from, to, msg) {
-		r.metrics.MessagesDropped++
-		return
-	}
-	r.metrics.MessagesSent++
+// typeCounter returns the per-dynamic-type metrics counter for msg,
+// creating it on the type's first appearance.
+func (r *Runner) typeCounter(msg Message) *typeCounter {
 	t := reflect.TypeOf(msg)
 	tc, ok := r.typeCounts[t]
 	if !ok {
 		tc = &typeCounter{name: fmt.Sprintf("%T", msg)}
 		r.typeCounts[t] = tc
 	}
-	tc.count++
+	return tc
+}
+
+// msgSize returns the byte size a message contributes to the metrics.
+func msgSize(msg Message) int {
 	if s, ok := msg.(Sizer); ok {
-		r.metrics.BytesSent += s.SimSize()
-	} else {
-		r.metrics.BytesSent++
+		return s.SimSize()
 	}
+	return 1
+}
+
+// dropped applies the drop filter. Filtered messages never reach the
+// network: they count only as MessagesDropped, not towards
+// MessagesSent/BytesSent/ByType, so experiment metrics reflect actual
+// traffic.
+func (r *Runner) dropped(from, to types.ProcessID, msg Message) bool {
+	if r.cfg.Filter != nil && !r.cfg.Filter(from, to, msg) {
+		r.metrics.MessagesDropped++
+		return true
+	}
+	return false
+}
+
+// sendOne records the sent-message metrics (against the caller-resolved
+// type counter and size) and enqueues the delivery. Both unicast and
+// broadcast fan-out land here, so the accounting rules live in one place.
+func (r *Runner) sendOne(from, to types.ProcessID, msg Message, tc *typeCounter, size int) {
+	r.metrics.MessagesSent++
+	tc.count++
+	r.metrics.BytesSent += size
+	r.enqueue(from, to, msg)
+}
+
+func (r *Runner) send(from, to types.ProcessID, msg Message) {
+	if r.dropped(from, to, msg) {
+		return
+	}
+	r.sendOne(from, to, msg, r.typeCounter(msg), msgSize(msg))
+}
+
+// broadcast fans msg out to every process in ID order. One fan-out
+// resolves the per-message bookkeeping (type counter, wire size) once and
+// reuses it for all n sends — broadcast is the dominant send pattern of
+// every protocol here, and per-destination SimSize/type lookups used to
+// show up in profiles. Delivery order and metrics stay byte-identical to
+// n individual sends: the filter, the latency draw and the sequence
+// number are still evaluated per destination, in destination order.
+func (r *Runner) broadcast(from types.ProcessID, msg Message) {
+	var tc *typeCounter
+	size := 0
+	for to := 0; to < r.cfg.N; to++ {
+		pid := types.ProcessID(to)
+		if r.dropped(from, pid, msg) {
+			continue
+		}
+		if tc == nil {
+			tc = r.typeCounter(msg)
+			size = msgSize(msg)
+		}
+		r.sendOne(from, pid, msg, tc, size)
+	}
+}
+
+// enqueue draws the link delay and pushes the delivery event.
+func (r *Runner) enqueue(from, to types.ProcessID, msg Message) {
 	d := r.cfg.Latency.Delay(from, to, msg, r.now, r.rng)
 	if d < 0 {
 		d = 0
@@ -339,7 +413,7 @@ func (r *Runner) init() {
 	}
 	r.inited = true
 	for i, n := range r.nodes {
-		n.Init(env{r: r, self: types.ProcessID(i)})
+		n.Init(&r.envs[i])
 	}
 }
 
@@ -353,7 +427,7 @@ func (r *Runner) Step() bool {
 	e := r.queue.pop()
 	r.now = e.at
 	r.metrics.MessagesDelivered++
-	r.nodes[e.to].Receive(env{r: r, self: e.to}, e.from, e.msg)
+	r.nodes[e.to].Receive(&r.envs[e.to], e.from, e.msg)
 	return true
 }
 

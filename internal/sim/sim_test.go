@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/types"
@@ -215,3 +216,88 @@ func TestTimeAdvancesMonotonically(t *testing.T) {
 		last = r.Now()
 	}
 }
+
+func TestUniformLatencyInvertedRangeNormalizes(t *testing.T) {
+	// A transposed literal must behave exactly like the intended range —
+	// same seeded draws, same bounds — not collapse to Min.
+	straight := UniformLatency{Min: 1, Max: 20}
+	inverted := UniformLatency{Min: 20, Max: 1}
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	sawAboveMin := false
+	for i := 0; i < 200; i++ {
+		a := straight.Delay(0, 1, nil, 0, rngA)
+		b := inverted.Delay(0, 1, nil, 0, rngB)
+		if a != b {
+			t.Fatalf("draw %d: inverted range delay %d != normalized %d", i, b, a)
+		}
+		if b < 1 || b > 20 {
+			t.Fatalf("draw %d: delay %d outside [1,20]", i, b)
+		}
+		if b > 1 {
+			sawAboveMin = true
+		}
+	}
+	if !sawAboveMin {
+		t.Fatal("inverted range still collapses every delay to the lower bound")
+	}
+	// Degenerate point range stays constant.
+	if d := (UniformLatency{Min: 5, Max: 5}).Delay(0, 1, nil, 0, rand.New(rand.NewSource(1))); d != 5 {
+		t.Fatalf("point range delay = %d, want 5", d)
+	}
+}
+
+func TestFavoredLinksLatencyOutOfRangeFallsBack(t *testing.T) {
+	fav := []types.Set{types.NewSetOf(3, 1)}
+	m := FavoredLinksLatency{Favored: fav, Fast: 1, Slow: 50}
+	if d := m.Delay(1, 0, nil, 0, nil); d != 1 {
+		t.Fatalf("favored link delay = %d, want Fast", d)
+	}
+	// Receiver beyond the configured slice: Slow, not a panic.
+	if d := m.Delay(1, 2, nil, 0, nil); d != 50 {
+		t.Fatalf("out-of-range receiver delay = %d, want Slow", d)
+	}
+	// Entirely unconfigured model.
+	none := FavoredLinksLatency{Fast: 1, Slow: 50}
+	if d := none.Delay(0, 1, nil, 0, nil); d != 50 {
+		t.Fatalf("nil Favored delay = %d, want Slow", d)
+	}
+	// A cluster larger than the Favored slice now runs to quiescence.
+	nodes := newPingCluster(4)
+	r := NewRunner(Config{N: 4, Seed: 1, Latency: FavoredLinksLatency{Favored: fav[:1], Fast: 1, Slow: 9}}, nodes)
+	r.Run(0)
+	if got := nodes[3].(*pingNode).got; got != 4 {
+		t.Fatalf("node beyond Favored got %d pings, want 4", got)
+	}
+}
+
+// TestStepDeliveryDoesNotAllocate pins the pooled-Env invariant: once the
+// run is warmed up, delivering an event must not allocate — the env
+// boxing this replaces used to be the dominant allocator of message-heavy
+// runs.
+func TestStepDeliveryDoesNotAllocate(t *testing.T) {
+	nodes := make([]Node, 2)
+	for i := range nodes {
+		nodes[i] = &silentNode{}
+	}
+	r := NewRunner(Config{N: 2, Seed: 1}, nodes)
+	r.init()
+	const events = 400
+	for i := 0; i < events; i++ {
+		r.send(0, 1, ping{payload: i})
+	}
+	allocs := testing.AllocsPerRun(events/4, func() {
+		if !r.Step() {
+			t.Fatal("queue drained early")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %.1f objects per delivery, want 0", allocs)
+	}
+}
+
+// silentNode consumes messages without reacting.
+type silentNode struct{}
+
+func (silentNode) Init(Env)                              {}
+func (silentNode) Receive(Env, types.ProcessID, Message) {}

@@ -65,21 +65,30 @@ type SweepResult[T any] struct {
 	// hold T's zero value; Reduce skips them.
 	Values []T
 
-	panics []SeedPanic // sorted by Index
+	panics   []SeedPanic // sorted by Index
+	panicIdx map[int]int // seed position -> index into panics, built lazily
 }
 
 // Panics returns the captured panics in seed order.
 func (r *SweepResult[T]) Panics() []SeedPanic { return r.panics }
 
 // PanicAt returns the panic captured for the seed at the given index, or
-// nil if that run completed.
+// nil if that run completed. Lookups are O(1) via a position index built
+// on first use — Reduce consults PanicAt for every seed, and a linear
+// scan made panic-heavy sweeps O(seeds × panics). Like the rest of a
+// SweepResult, PanicAt is for the single goroutine that owns the result.
 func (r *SweepResult[T]) PanicAt(index int) *SeedPanic {
-	for i := range r.panics {
-		if r.panics[i].Index == index {
-			return &r.panics[i]
+	if r.panicIdx == nil {
+		r.panicIdx = make(map[int]int, len(r.panics))
+		for i := range r.panics {
+			r.panicIdx[r.panics[i].Index] = i
 		}
 	}
-	return nil
+	i, ok := r.panicIdx[index]
+	if !ok {
+		return nil
+	}
+	return &r.panics[i]
 }
 
 // Err returns the first panic in seed order as an error, or nil if every

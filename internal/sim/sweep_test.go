@@ -183,3 +183,40 @@ func TestSendDropAccounting(t *testing.T) {
 		t.Errorf("ByType = %v, want 13 pings", m.ByType)
 	}
 }
+
+// TestSweepPanicAtIndexed exercises PanicAt on a panic-heavy sweep: every
+// odd seed panics, and the position index must attribute each captured
+// panic to exactly its own slot (Reduce consults PanicAt per seed, so
+// this is also what keeps panic-heavy reductions linear).
+func TestSweepPanicAtIndexed(t *testing.T) {
+	seeds := SeedRange(0, 64)
+	res := Sweep(seeds, 4, func(seed int64) int64 {
+		if seed%2 == 1 {
+			panic(seed)
+		}
+		return seed
+	})
+	for i, seed := range seeds {
+		sp := res.PanicAt(i)
+		if seed%2 == 1 {
+			if sp == nil || sp.Seed != seed || sp.Index != i {
+				t.Fatalf("PanicAt(%d) = %+v, want panic for seed %d", i, sp, seed)
+			}
+		} else if sp != nil {
+			t.Fatalf("PanicAt(%d) = %+v for a healthy run", i, sp)
+		}
+	}
+	if res.PanicAt(len(seeds)+5) != nil {
+		t.Fatal("PanicAt out of range returned a panic")
+	}
+	sum := Reduce(res, int64(0), func(acc int64, _ int64, v int64) int64 { return acc + v })
+	want := int64(0)
+	for _, s := range seeds {
+		if s%2 == 0 {
+			want += s
+		}
+	}
+	if sum != want {
+		t.Fatalf("Reduce over even seeds = %d, want %d", sum, want)
+	}
+}
