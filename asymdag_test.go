@@ -236,3 +236,63 @@ func TestClusterDefaultLatencyIsUniform(t *testing.T) {
 		t.Fatalf("nil latency still runs the ConstantLatency(1) schedule (vtime %d)", nilLat.VTime)
 	}
 }
+
+// TestClusterMaxStepsBudget pins the Run event budget: a tiny MaxSteps
+// truncates the run and flags HitLimit (so a non-quiescing schedule can
+// never hang a sweep), the default budget leaves a quiescing run
+// untouched, and a negative budget means unbounded.
+func TestClusterMaxStepsBudget(t *testing.T) {
+	mk := func(maxSteps int) asymdag.ClusterResult {
+		c := asymdag.NewCluster(asymdag.ClusterConfig{
+			Trust: asymdag.NewThreshold(4, 1), NumWaves: 3, Seed: 1, CoinSeed: 2,
+			MaxSteps: maxSteps,
+		})
+		return c.Run()
+	}
+	if res := mk(10); !res.HitLimit {
+		t.Fatal("10-step budget not reported as hit")
+	}
+	if res := mk(0); res.HitLimit {
+		t.Fatal("default budget flagged on a quiescing run")
+	}
+	if res := mk(-1); res.HitLimit {
+		t.Fatal("unbounded run flagged HitLimit")
+	}
+}
+
+// TestClusterParallelDeliveryDeterministic pins the public-API face of
+// parallel same-time delivery: identical transaction orders and network
+// costs for every delivery worker count.
+func TestClusterParallelDeliveryDeterministic(t *testing.T) {
+	run := func(workers int) asymdag.ClusterResult {
+		c := asymdag.NewCluster(asymdag.ClusterConfig{
+			Trust: asymdag.NewThreshold(4, 1), NumWaves: 6, Seed: 7, CoinSeed: 8,
+			DeliveryWorkers: workers,
+		})
+		c.Submit(0, "a", "b")
+		c.Submit(2, "c")
+		return c.Run()
+	}
+	ref := run(1)
+	if !ref.OrdersAgree() {
+		t.Fatal("orders diverge under parallel delivery")
+	}
+	for _, w := range []int{2, 5} {
+		res := run(w)
+		if res.Messages != ref.Messages || res.Bytes != ref.Bytes || res.VTime != ref.VTime {
+			t.Fatalf("workers=%d: costs diverged: %d/%d/%d vs %d/%d/%d",
+				w, res.Messages, res.Bytes, res.VTime, ref.Messages, ref.Bytes, ref.VTime)
+		}
+		for p := 0; p < 4; p++ {
+			a, b := res.Order(asymdag.ProcessID(p)), ref.Order(asymdag.ProcessID(p))
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d: process %d order length %d vs %d", w, p, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d: process %d order diverged at %d: %q vs %q", w, p, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package asymdag_test
 
 import (
+	"runtime"
 	"testing"
 
 	asymdag "repro"
@@ -305,6 +306,68 @@ func BenchmarkSweepABBA(b *testing.B) {
 	if last.Decided > 0 {
 		b.ReportMetric(float64(last.TotalRounds)/float64(last.Decided), "rounds/decision")
 	}
+}
+
+// Large-n single-run scaling: the sharded event queue plus parallel
+// same-time delivery. One n=100 execution is far too slow to run to
+// quiescence inside a benchmark iteration (several million deliveries),
+// so each op delivers a fixed 300k-event budget of the run — a
+// well-defined unit of work that makes serial and parallel directly
+// comparable. The Serial/Parallel pair is the scaling claim: on a
+// multi-core host parallel delivery must beat serial (on a single-core
+// host it only pays the buffering overhead); `make benchcmp` guards the
+// serial numbers so the lane-queue refactor cannot silently regress the
+// default path.
+
+const largeNEvents = 300_000
+
+func benchLargeNRider(b *testing.B, workers int) {
+	trust := quorum.NewThreshold(100, 33)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := harness.RunRider(harness.RiderConfig{
+			Kind: harness.Asymmetric, Trust: trust, NumWaves: 2, TxPerBlock: 1,
+			Seed: int64(i), CoinSeed: int64(i)*13 + 1,
+			Latency:   sim.UniformLatency{Min: 1, Max: 5},
+			MaxEvents: largeNEvents, DeliveryWorkers: workers,
+		})
+		if len(res.Nodes) != 100 {
+			b.Fatal("large-n rider lost nodes")
+		}
+		if !res.HitLimit {
+			b.Fatal("large-n rider quiesced inside the event budget; raise the budget")
+		}
+	}
+	b.ReportMetric(float64(largeNEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkLargeNRiderSerial(b *testing.B) { benchLargeNRider(b, -1) }
+func BenchmarkLargeNRiderParallel(b *testing.B) {
+	benchLargeNRider(b, runtime.GOMAXPROCS(0))
+}
+
+func benchLargeNACS(b *testing.B, workers int) {
+	trust := quorum.NewThreshold(100, 33)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := acs.Run(acs.RunConfig{
+			Trust: trust, Mode: gather.UsePlain,
+			Latency: sim.UniformLatency{Min: 1, Max: 5},
+			Seed:    int64(i), CoinSeed: int64(i) + 7,
+			MaxEvents: largeNEvents, DeliveryWorkers: workers,
+		})
+		if res.Metrics.MessagesDelivered < largeNEvents {
+			b.Fatalf("ACS delivered %d events, want >= %d", res.Metrics.MessagesDelivered, largeNEvents)
+		}
+	}
+	b.ReportMetric(float64(largeNEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkLargeNACSSerial(b *testing.B) { benchLargeNACS(b, 0) }
+func BenchmarkLargeNACSParallel(b *testing.B) {
+	benchLargeNACS(b, runtime.GOMAXPROCS(0))
 }
 
 // Micro-benchmarks of the substrate hot paths. ---------------------------

@@ -21,7 +21,23 @@ type ClusterConfig struct {
 	Latency LatencyModel
 	// BatchSize caps transactions per vertex (default 16).
 	BatchSize int
+	// MaxSteps bounds Run to that many delivered events (0 = the generous
+	// DefaultMaxSteps, < 0 = unbounded). Without a bound, a non-quiescing
+	// schedule — an adversarial latency model feeding a livelocked round,
+	// say — hangs Run (and any sweep driving it) forever; the default cap
+	// is far above what a legitimate run delivers, so hitting it signals a
+	// runaway schedule rather than truncating real work. ClusterResult
+	// reports a hit via HitLimit.
+	MaxSteps int
+	// DeliveryWorkers opts the run into the simulator's parallel
+	// same-time delivery (0 = serial; see sim.Config.DeliveryWorkers).
+	DeliveryWorkers int
 }
+
+// DefaultMaxSteps is the event budget Run applies when ClusterConfig
+// leaves MaxSteps at 0 — the simulator-wide default shared by every
+// protocol runner.
+const DefaultMaxSteps = sim.DefaultEventBudget
 
 // Cluster is a simulated deployment of the asymmetric DAG consensus: one
 // node per process, an in-memory asynchronous network, and per-node
@@ -74,8 +90,12 @@ func (c *Cluster) Run() ClusterResult {
 	for i, nd := range c.nodes {
 		nodes[i] = nd
 	}
-	r := sim.NewRunner(sim.Config{N: n, Seed: c.cfg.Seed, Latency: c.cfg.Latency}, nodes)
-	r.Run(0)
+	limit := sim.ResolveEventBudget(c.cfg.MaxSteps)
+	r := sim.NewRunner(sim.Config{
+		N: n, Seed: c.cfg.Seed, Latency: c.cfg.Latency,
+		DeliveryWorkers: c.cfg.DeliveryWorkers,
+	}, nodes)
+	r.Run(limit)
 
 	res := ClusterResult{
 		orders:   make([][]string, n),
@@ -84,6 +104,7 @@ func (c *Cluster) Run() ClusterResult {
 		Messages: r.Metrics().MessagesSent,
 		Bytes:    r.Metrics().BytesSent,
 		VTime:    int64(r.Now()),
+		HitLimit: limit > 0 && r.Pending() > 0,
 	}
 	for i, nd := range c.nodes {
 		res.orders[i] = nd.DeliveredBlocks()
@@ -99,6 +120,9 @@ type ClusterResult struct {
 	// time at quiescence.
 	Messages, Bytes int
 	VTime           int64
+	// HitLimit reports that the run stopped at the MaxSteps event budget
+	// with deliveries still pending, instead of reaching quiescence.
+	HitLimit bool
 
 	orders  [][]string
 	commits []int

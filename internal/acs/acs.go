@@ -25,6 +25,10 @@
 package acs
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
+
 	"repro/internal/abba"
 	"repro/internal/coin"
 	"repro/internal/gather"
@@ -49,6 +53,41 @@ type Config struct {
 type wrapMsg struct {
 	Idx   int
 	Inner sim.Message
+}
+
+// wrapHeaderSize is the envelope overhead charged per wrapped message: a
+// two-byte instance index.
+const wrapHeaderSize = 2
+
+// SimSize implements sim.Sizer: the inner payload's size plus the index
+// header. Without this, every wrapped binary-agreement message counted as
+// 1 byte towards BytesSent no matter how large the inner payload was,
+// silently deflating every ACS bandwidth figure.
+func (w wrapMsg) SimSize() int { return wrapHeaderSize + sim.MessageSize(w.Inner) }
+
+// SimType implements sim.Typer: wrapped traffic is attributed to its
+// binary-agreement instance and inner message type. Without this, all n
+// parallel instances lumped into a single "acs.wrapMsg" ByType bucket,
+// hiding which instances dominated the traffic.
+func (w wrapMsg) SimType() string {
+	key := wrapLabelKey{idx: w.Idx, t: reflect.TypeOf(w.Inner)}
+	if v, ok := wrapLabels.Load(key); ok {
+		return v.(string)
+	}
+	label := fmt.Sprintf("acs[%d]/%T", w.Idx, w.Inner)
+	wrapLabels.Store(key, label)
+	return label
+}
+
+// wrapLabels caches the (instance, inner type) → label strings: the
+// runner resolves SimType once per fan-out, and formatting it each time
+// showed up in ACS profiles. The cache is package-global (labels are
+// pure functions of the key) and concurrent-safe for parallel sweeps.
+var wrapLabels sync.Map
+
+type wrapLabelKey struct {
+	idx int
+	t   reflect.Type
 }
 
 // Node is one process running asymmetric ACS.
@@ -99,10 +138,14 @@ func (w wrapEnv) Send(to types.ProcessID, msg sim.Message) {
 	w.Env.Send(to, wrapMsg{Idx: w.idx, Inner: msg})
 }
 
+// Broadcast wraps once and hands the fan-out to the simulator's pooled
+// broadcast fast path (one type-counter/SimSize resolution per fan-out).
+// The wrapped message is identical for every destination, so this is
+// observably the same as the per-destination Send loop it replaces — the
+// runner still applies the drop filter, the latency draw and the sequence
+// number per destination, in destination order.
 func (w wrapEnv) Broadcast(msg sim.Message) {
-	for to := 0; to < w.Env.N(); to++ {
-		w.Env.Send(types.ProcessID(to), wrapMsg{Idx: w.idx, Inner: msg})
-	}
+	w.Env.Broadcast(wrapMsg{Idx: w.idx, Inner: msg})
 }
 
 // Init implements sim.Node.
@@ -201,39 +244,90 @@ func (n *Node) Output() (Pairs, bool) {
 	return n.output, true
 }
 
-// RunCluster executes one ACS instance across trust.N() simulated
-// processes; process p proposes gather.InputValue(p).
-func RunCluster(trust quorum.Assumption, mode gather.Dissemination, latency sim.LatencyModel, seed, coinSeed int64, faulty map[types.ProcessID]sim.Node) map[types.ProcessID]Pairs {
-	n := trust.N()
+// RunConfig configures one whole-cluster ACS execution for Run.
+type RunConfig struct {
+	Trust quorum.Assumption
+	// Mode selects the gather's dissemination layer.
+	Mode gather.Dissemination
+	// Latency is the network model (default uniform 1..20).
+	Latency sim.LatencyModel
+	// Seed drives the network schedule; CoinSeed the per-instance coins.
+	Seed, CoinSeed int64
+	// Faulty replaces the given processes with faulty behaviours.
+	Faulty map[types.ProcessID]sim.Node
+	// DeliveryWorkers opts the run into the simulator's parallel
+	// same-time delivery (0 = serial; see sim.Config.DeliveryWorkers).
+	DeliveryWorkers int
+	// MaxEvents bounds the simulation (0 = the generous
+	// sim.DefaultEventBudget, < 0 = unbounded) — the convention shared
+	// with harness.RiderConfig and asymdag.ClusterConfig. RunResult
+	// reports a truncated run via HitLimit.
+	MaxEvents int
+}
+
+// RunResult is the observable outcome of one ACS cluster execution.
+type RunResult struct {
+	// Outputs maps each finished correct process to its agreed core set.
+	Outputs map[types.ProcessID]Pairs
+	Metrics *sim.Metrics
+	EndTime sim.VirtualTime
+	// HitLimit reports that the run stopped at the MaxEvents budget with
+	// deliveries still pending, instead of reaching quiescence.
+	HitLimit bool
+}
+
+// Run executes one ACS instance across cfg.Trust.N() simulated processes;
+// process p proposes gather.InputValue(p).
+func Run(cfg RunConfig) RunResult {
+	n := cfg.Trust.N()
 	nodes := make([]sim.Node, n)
 	raw := make([]*Node, n)
 	for i := range nodes {
 		nd := NewNode(Config{
-			Trust:    trust,
+			Trust:    cfg.Trust,
 			Input:    gather.InputValue(types.ProcessID(i)),
-			CoinSeed: coinSeed,
-			Mode:     mode,
+			CoinSeed: cfg.CoinSeed,
+			Mode:     cfg.Mode,
 		})
 		nodes[i] = nd
 		raw[i] = nd
 	}
-	for p, f := range faulty {
+	for p, f := range cfg.Faulty {
 		nodes[p] = f
 		raw[p] = nil
 	}
-	if latency == nil {
-		latency = sim.UniformLatency{Min: 1, Max: 20}
+	if cfg.Latency == nil {
+		cfg.Latency = sim.UniformLatency{Min: 1, Max: 20}
 	}
-	r := sim.NewRunner(sim.Config{N: n, Seed: seed, Latency: latency}, nodes)
-	r.Run(0)
-	out := map[types.ProcessID]Pairs{}
+	limit := sim.ResolveEventBudget(cfg.MaxEvents)
+	r := sim.NewRunner(sim.Config{
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		DeliveryWorkers: cfg.DeliveryWorkers,
+	}, nodes)
+	r.Run(limit)
+	res := RunResult{
+		Outputs:  map[types.ProcessID]Pairs{},
+		Metrics:  r.Metrics(),
+		EndTime:  r.Now(),
+		HitLimit: limit > 0 && r.Pending() > 0,
+	}
 	for i, nd := range raw {
 		if nd == nil {
 			continue
 		}
 		if o, ok := nd.Output(); ok {
-			out[types.ProcessID(i)] = o
+			res.Outputs[types.ProcessID(i)] = o
 		}
 	}
-	return out
+	return res
+}
+
+// RunCluster executes one ACS instance and returns only the outputs — the
+// original convenience signature, retained for callers that don't need
+// metrics or the parallel-delivery knob.
+func RunCluster(trust quorum.Assumption, mode gather.Dissemination, latency sim.LatencyModel, seed, coinSeed int64, faulty map[types.ProcessID]sim.Node) map[types.ProcessID]Pairs {
+	return Run(RunConfig{
+		Trust: trust, Mode: mode, Latency: latency,
+		Seed: seed, CoinSeed: coinSeed, Faulty: faulty,
+	}).Outputs
 }

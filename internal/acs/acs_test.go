@@ -1,6 +1,8 @@
 package acs
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/gather"
@@ -109,5 +111,170 @@ func TestACSOutputAccessors(t *testing.T) {
 	nd := NewNode(Config{Trust: quorum.NewThreshold(4, 1), Input: "x"})
 	if _, ok := nd.Output(); ok {
 		t.Fatal("output before running")
+	}
+}
+
+// sizedProbe is an inner message with a known wire size.
+type sizedProbe struct{}
+
+func (sizedProbe) SimSize() int { return 8 }
+
+// TestWrapMsgMetrics pins the envelope's metrics contract: SimSize
+// forwards the inner payload's size plus the index header, and SimType
+// attributes the message to its instance and inner type. Before these,
+// every wrapped message counted as 1 byte and all n instances lumped
+// into one "acs.wrapMsg" bucket.
+func TestWrapMsgMetrics(t *testing.T) {
+	w := wrapMsg{Idx: 3, Inner: sizedProbe{}}
+	if got := w.SimSize(); got != wrapHeaderSize+8 {
+		t.Fatalf("wrapMsg.SimSize() = %d, want %d", got, wrapHeaderSize+8)
+	}
+	if got := w.SimType(); got != "acs[3]/acs.sizedProbe" {
+		t.Fatalf("wrapMsg.SimType() = %q", got)
+	}
+	// Unsized inner payloads still pay the header on top of the default 1.
+	if got := (wrapMsg{Inner: valProbe{}}).SimSize(); got != wrapHeaderSize+1 {
+		t.Fatalf("unsized inner SimSize() = %d, want %d", got, wrapHeaderSize+1)
+	}
+
+	// Whole-cluster: every binary-agreement instance shows up as its own
+	// ByType bucket and wrapped traffic is charged more than 1 byte.
+	trust := quorum.NewThreshold(4, 1)
+	res := Run(RunConfig{Trust: trust, Mode: gather.UseReliable, Seed: 1, CoinSeed: 2})
+	if len(res.Outputs) != 4 {
+		t.Fatalf("%d outputs, want 4", len(res.Outputs))
+	}
+	wraps := 0
+	perInstance := map[int]bool{}
+	for name, count := range res.Metrics.ByType {
+		var idx int
+		var rest string
+		if n, _ := fmt.Sscanf(name, "acs[%d]/%s", &idx, &rest); n == 2 {
+			wraps += count
+			perInstance[idx] = true
+		}
+	}
+	if wraps == 0 {
+		t.Fatalf("no per-instance wrap buckets in ByType: %v", res.Metrics.ByType)
+	}
+	for j := 0; j < 4; j++ {
+		if !perInstance[j] {
+			t.Fatalf("instance %d missing from ByType buckets: %v", j, res.Metrics.ByType)
+		}
+	}
+	// Every wrapped message contributes at least header+1 bytes, every
+	// other message at least 1: the old 1-byte-per-wrap accounting cannot
+	// satisfy this bound.
+	minBytes := res.Metrics.MessagesSent + wraps*wrapHeaderSize
+	if res.Metrics.BytesSent < minBytes {
+		t.Fatalf("BytesSent = %d < %d: wrapped sizes not forwarded", res.Metrics.BytesSent, minBytes)
+	}
+}
+
+// valProbe is an inner message without SimSize.
+type valProbe struct{}
+
+// bcastProbe drives one wrapped broadcast from process 0, either through
+// the new wrapEnv.Broadcast fast path or through the per-destination Send
+// loop it replaced.
+type bcastProbe struct {
+	loop  bool
+	times []sim.VirtualTime
+	froms []types.ProcessID
+}
+
+func (b *bcastProbe) Init(env sim.Env) {
+	if env.Self() != 0 {
+		return
+	}
+	we := wrapEnv{Env: env, idx: 2}
+	if b.loop {
+		for to := 0; to < env.N(); to++ { // the pre-fix implementation
+			we.Env.Send(types.ProcessID(to), wrapMsg{Idx: we.idx, Inner: sizedProbe{}})
+		}
+	} else {
+		we.Broadcast(sizedProbe{})
+	}
+}
+
+func (b *bcastProbe) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	b.times = append(b.times, env.Now())
+	b.froms = append(b.froms, from)
+}
+
+// TestWrapEnvBroadcastFastPath pins that routing wrapped broadcasts
+// through Runner.broadcast changes nothing observable: metrics (counts,
+// bytes, ByType) and per-destination delivery order/timing are identical
+// to the old per-destination Send loop.
+func TestWrapEnvBroadcastFastPath(t *testing.T) {
+	run := func(loop bool) ([]*bcastProbe, *sim.Metrics) {
+		const n = 5
+		nodes := make([]sim.Node, n)
+		probes := make([]*bcastProbe, n)
+		for i := range nodes {
+			p := &bcastProbe{loop: loop}
+			nodes[i] = p
+			probes[i] = p
+		}
+		r := sim.NewRunner(sim.Config{N: n, Seed: 11, Latency: sim.UniformLatency{Min: 1, Max: 9}}, nodes)
+		r.Run(0)
+		return probes, r.Metrics()
+	}
+	loopProbes, loopMetrics := run(true)
+	fastProbes, fastMetrics := run(false)
+	if !reflect.DeepEqual(fastMetrics, loopMetrics) {
+		t.Fatalf("fast-path metrics diverged:\n got %+v\nwant %+v", fastMetrics, loopMetrics)
+	}
+	for i := range loopProbes {
+		if !reflect.DeepEqual(fastProbes[i].times, loopProbes[i].times) ||
+			!reflect.DeepEqual(fastProbes[i].froms, loopProbes[i].froms) {
+			t.Fatalf("process %d delivery schedule diverged: fast %v/%v, loop %v/%v",
+				i, fastProbes[i].times, fastProbes[i].froms, loopProbes[i].times, loopProbes[i].froms)
+		}
+	}
+}
+
+// TestACSParallelDeliveryDeterministic pins ACS under the simulator's
+// parallel same-time delivery: outputs and the full Metrics (incl. the
+// per-instance ByType buckets) are byte-identical across worker counts,
+// and the agreement property holds.
+func TestACSParallelDeliveryDeterministic(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	mk := func(workers int) RunResult {
+		return Run(RunConfig{
+			Trust: trust, Mode: gather.UseReliable,
+			Latency: sim.UniformLatency{Min: 1, Max: 15},
+			Seed:    5, CoinSeed: 6, DeliveryWorkers: workers,
+		})
+	}
+	ref := mk(1)
+	assertIdenticalOutputs(t, ref.Outputs, 4)
+	for _, w := range []int{2, 4} {
+		res := mk(w)
+		if !reflect.DeepEqual(res.Metrics, ref.Metrics) {
+			t.Fatalf("workers=%d: metrics diverged:\n got %+v\nwant %+v", w, res.Metrics, ref.Metrics)
+		}
+		if res.EndTime != ref.EndTime {
+			t.Fatalf("workers=%d: end time %d, want %d", w, res.EndTime, ref.EndTime)
+		}
+		if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+			t.Fatalf("workers=%d: outputs diverged", w)
+		}
+	}
+}
+
+// TestACSEventBudget pins the shared budget convention on acs.Run: a tiny
+// MaxEvents truncates and flags HitLimit; the default (0) budget leaves a
+// quiescing run untouched.
+func TestACSEventBudget(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	base := RunConfig{Trust: trust, Mode: gather.UseReliable, Seed: 1, CoinSeed: 2}
+	tiny := base
+	tiny.MaxEvents = 5
+	if res := Run(tiny); !res.HitLimit {
+		t.Fatal("5-event budget not reported as hit")
+	}
+	if res := Run(base); res.HitLimit {
+		t.Fatal("default budget flagged on a quiescing run")
 	}
 }

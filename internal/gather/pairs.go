@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -62,12 +63,17 @@ type Pairs struct {
 	// by the snapshot's parent): mutators must copy before writing. The
 	// flag is a pointer so that every alias of one backing — however the
 	// aliasing arose — sees the mark; it is nil only in the zero value.
-	shared *bool
+	// It is atomic because under the simulator's parallel same-time
+	// delivery the Receive handlers of distinct receivers run
+	// concurrently, and a broadcast payload aliases one backing across
+	// all of them: one handler re-snapshotting (flag store) can overlap
+	// another handler's copy-on-write check (flag load).
+	shared *atomic.Bool
 }
 
 // NewPairs returns an empty pair set over a universe of n processes.
 func NewPairs(n int) Pairs {
-	return Pairs{senders: types.NewSet(n), vals: make([]string, n), shared: new(bool)}
+	return Pairs{senders: types.NewSet(n), vals: make([]string, n), shared: new(atomic.Bool)}
 }
 
 // PairsOf builds a pair set over a universe of n from a literal map
@@ -92,7 +98,7 @@ func (p Pairs) Clone() Pairs {
 	if p.IsZero() {
 		return p
 	}
-	c := Pairs{senders: p.senders.Clone(), vals: make([]string, len(p.vals)), shared: new(bool)}
+	c := Pairs{senders: p.senders.Clone(), vals: make([]string, len(p.vals)), shared: new(atomic.Bool)}
 	copy(c.vals, p.vals)
 	return c
 }
@@ -108,7 +114,13 @@ func (p *Pairs) Snapshot() Pairs {
 	if p.IsZero() {
 		return Pairs{}
 	}
-	*p.shared = true
+	// Load-before-store: re-snapshotting an already-shared backing is the
+	// common case (every quorum trigger snapshots, mutations are rarer),
+	// and an atomic load is a plain MOV where the unconditional store
+	// would serialize the pipeline on every call.
+	if !p.shared.Load() {
+		p.shared.Store(true)
+	}
 	return *p
 }
 
@@ -117,14 +129,14 @@ func (p *Pairs) Snapshot() Pairs {
 // write; reads never need it. The old backing (and its shared flag) stays
 // with the snapshots; the fresh backing starts unshared.
 func (p *Pairs) ensureOwned() {
-	if p.shared == nil || !*p.shared {
+	if p.shared == nil || !p.shared.Load() {
 		return
 	}
 	p.senders = p.senders.Clone()
 	vals := make([]string, len(p.vals))
 	copy(vals, p.vals)
 	p.vals = vals
-	p.shared = new(bool)
+	p.shared = new(atomic.Bool)
 }
 
 // Get returns the value associated with process k, if any.

@@ -40,7 +40,10 @@ type RunConfig struct {
 	Seed    int64
 	// Faulty optionally replaces nodes with faulty behaviours.
 	Faulty map[types.ProcessID]sim.Node
-	// MaxEvents bounds the run (0 = run to quiescence).
+	// MaxEvents bounds the run (0 = the generous sim.DefaultEventBudget,
+	// < 0 = unbounded) — the convention shared with the other protocol
+	// runners, so a non-quiescing schedule cannot hang a gather sweep.
+	// RunResult reports a truncated run via HitLimit.
 	MaxEvents int
 }
 
@@ -55,6 +58,9 @@ type RunResult struct {
 	Metrics *sim.Metrics
 	// EndTime is the virtual time of quiescence (or cutoff).
 	EndTime sim.VirtualTime
+	// HitLimit reports that the run stopped at the MaxEvents budget with
+	// deliveries still pending, instead of reaching quiescence.
+	HitLimit bool
 }
 
 // InputValue is the conventional test input of a process.
@@ -76,14 +82,16 @@ func RunCluster(cfg RunConfig) RunResult {
 	for p, f := range cfg.Faulty {
 		nodes[p] = f
 	}
+	limit := sim.ResolveEventBudget(cfg.MaxEvents)
 	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency}, nodes)
-	r.Run(cfg.MaxEvents)
+	r.Run(limit)
 
 	res := RunResult{
 		Outputs:    map[types.ProcessID]Pairs{},
 		SSnapshots: map[types.ProcessID]Pairs{},
 		Metrics:    r.Metrics(),
 		EndTime:    r.Now(),
+		HitLimit:   limit > 0 && r.Pending() > 0,
 	}
 	for i, nd := range nodes {
 		p := types.ProcessID(i)

@@ -53,8 +53,15 @@ type RiderConfig struct {
 	Latency sim.LatencyModel
 	// Faulty replaces the given processes with faulty behaviours.
 	Faulty map[types.ProcessID]sim.Node
-	// MaxEvents bounds the simulation (0 = quiescence).
+	// MaxEvents bounds the simulation (0 = the generous DefaultMaxEvents,
+	// < 0 = unbounded). The default keeps a non-quiescing schedule from
+	// hanging a sweep forever; RiderResult.HitLimit reports a truncated
+	// run.
 	MaxEvents int
+	// DeliveryWorkers opts the run into the simulator's parallel
+	// same-time delivery (0 = the package-level DefaultDeliveryWorkers,
+	// < 0 = force serial; see sim.Config.DeliveryWorkers).
+	DeliveryWorkers int
 	// RevealedCoin enables the share-gated coin in the asymmetric
 	// protocol (ignored by the symmetric baseline).
 	RevealedCoin bool
@@ -72,6 +79,29 @@ type NodeResult struct {
 	Blocks      []string
 }
 
+// DefaultMaxEvents is the event budget RunRider and RunABBA apply when
+// the config leaves MaxEvents at 0 — the simulator-wide default shared by
+// every protocol runner.
+const DefaultMaxEvents = sim.DefaultEventBudget
+
+// DefaultDeliveryWorkers, when > 0, opts every execution whose config
+// leaves DeliveryWorkers at 0 into the simulator's parallel same-time
+// delivery with that many workers. The cmd binaries set it once from
+// their -delivery-workers flag; configs force serial with a negative
+// DeliveryWorkers.
+var DefaultDeliveryWorkers int
+
+// resolveDeliveryWorkers applies the DefaultDeliveryWorkers fallback.
+func resolveDeliveryWorkers(configured int) int {
+	if configured == 0 {
+		return DefaultDeliveryWorkers
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
+}
+
 // RiderResult is the outcome of one cluster execution.
 type RiderResult struct {
 	// Nodes holds per-process results for processes that ran the real
@@ -80,6 +110,9 @@ type RiderResult struct {
 	Metrics *sim.Metrics
 	EndTime sim.VirtualTime
 	Config  RiderConfig
+	// HitLimit reports that the run stopped at the MaxEvents budget with
+	// deliveries still pending, instead of reaching quiescence.
+	HitLimit bool
 
 	// maxVertexCount is the largest retained DAG size across nodes (for
 	// the GC experiment).
@@ -121,14 +154,19 @@ func RunRider(cfg RiderConfig) RiderResult {
 		nodes[p] = f
 	}
 
-	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency}, nodes)
-	r.Run(cfg.MaxEvents)
+	limit := sim.ResolveEventBudget(cfg.MaxEvents)
+	r := sim.NewRunner(sim.Config{
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		DeliveryWorkers: resolveDeliveryWorkers(cfg.DeliveryWorkers),
+	}, nodes)
+	r.Run(limit)
 
 	res := RiderResult{
-		Nodes:   map[types.ProcessID]NodeResult{},
-		Metrics: r.Metrics(),
-		EndTime: r.Now(),
-		Config:  cfg,
+		Nodes:    map[types.ProcessID]NodeResult{},
+		Metrics:  r.Metrics(),
+		EndTime:  r.Now(),
+		Config:   cfg,
+		HitLimit: limit > 0 && r.Pending() > 0,
 	}
 	for i, nd := range nodes {
 		p := types.ProcessID(i)

@@ -74,6 +74,7 @@ type riderRun struct {
 	nodeCommits  int
 	nodeWaves    int
 	medianBlocks int
+	hitLimit     bool
 	endTime      sim.VirtualTime
 	metrics      *sim.Metrics
 }
@@ -102,6 +103,10 @@ type RiderSweepStats struct {
 	NodeCommits, NodeWaves int
 	// MedianBlocks sums each run's median node's delivered block count.
 	MedianBlocks int
+	// HitLimits counts runs truncated at their MaxEvents budget instead
+	// of reaching quiescence — a non-zero value flags a runaway schedule
+	// (or a budget set too low) somewhere in the sweep.
+	HitLimits int
 	// EndTime sums virtual completion times.
 	EndTime sim.VirtualTime
 	// Metrics is the merged network traffic of all completed runs.
@@ -125,9 +130,10 @@ func (s Sweeper) SweepRider(seeds []int64, mk func(seed int64) RiderConfig, chec
 		cfg := mk(seed)
 		r := RunRider(cfg)
 		run := riderRun{
-			nodes:   len(r.Nodes),
-			endTime: r.EndTime,
-			metrics: r.Metrics,
+			nodes:    len(r.Nodes),
+			hitLimit: r.HitLimit,
+			endTime:  r.EndTime,
+			metrics:  r.Metrics,
 		}
 		var blocks []int
 		for _, nr := range r.Nodes {
@@ -159,6 +165,9 @@ func (s Sweeper) SweepRider(seeds []int64, mk func(seed int64) RiderConfig, chec
 		acc.NodeCommits += run.nodeCommits
 		acc.NodeWaves += run.nodeWaves
 		acc.MedianBlocks += run.medianBlocks
+		if run.hitLimit {
+			acc.HitLimits++
+		}
 		acc.EndTime += run.endTime
 		acc.Metrics = sim.MergeMetrics(acc.Metrics, run.metrics)
 		return acc
@@ -175,6 +184,7 @@ type gatherRun struct {
 	err        error
 	delivered  int
 	commonCore bool
+	hitLimit   bool
 	endTime    sim.VirtualTime
 	metrics    *sim.Metrics
 }
@@ -192,8 +202,10 @@ type GatherSweepStats struct {
 	// CommonCores counts runs whose outputs contained a non-empty common
 	// core (the §3 soundness criterion).
 	CommonCores int
-	EndTime     sim.VirtualTime
-	Metrics     *sim.Metrics
+	// HitLimits counts runs truncated at their MaxEvents budget.
+	HitLimits int
+	EndTime   sim.VirtualTime
+	Metrics   *sim.Metrics
 }
 
 // SweepGather runs mk(seed) through gather.RunCluster for every seed. Each
@@ -209,6 +221,7 @@ func (s Sweeper) SweepGather(seeds []int64, mk func(seed int64) gather.RunConfig
 		run := gatherRun{
 			delivered:  len(r.Outputs),
 			commonCore: !core.IsEmpty(),
+			hitLimit:   r.HitLimit,
 			endTime:    r.EndTime,
 			metrics:    r.Metrics,
 		}
@@ -223,6 +236,9 @@ func (s Sweeper) SweepGather(seeds []int64, mk func(seed int64) gather.RunConfig
 		acc.Delivered += run.delivered
 		if run.commonCore {
 			acc.CommonCores++
+		}
+		if run.hitLimit {
+			acc.HitLimits++
 		}
 		acc.EndTime += run.endTime
 		acc.Metrics = sim.MergeMetrics(acc.Metrics, run.metrics)
@@ -245,8 +261,13 @@ type ABBAConfig struct {
 	Seed, CoinSeed int64
 	// Latency is the network model (default uniform 1..20).
 	Latency sim.LatencyModel
-	// MaxEvents bounds the simulation (0 = quiescence).
+	// MaxEvents bounds the simulation (0 = the generous DefaultMaxEvents,
+	// < 0 = unbounded); ABBAResult.HitLimit reports a truncated run.
 	MaxEvents int
+	// DeliveryWorkers opts the run into the simulator's parallel
+	// same-time delivery (0 = the package-level DefaultDeliveryWorkers,
+	// < 0 = force serial).
+	DeliveryWorkers int
 }
 
 // ABBAResult is the outcome of one binary-agreement cluster execution.
@@ -258,6 +279,9 @@ type ABBAResult struct {
 	Undecided int
 	Metrics   *sim.Metrics
 	EndTime   sim.VirtualTime
+	// HitLimit reports that the run stopped at the MaxEvents budget with
+	// deliveries still pending.
+	HitLimit bool
 }
 
 // CheckAgreement verifies that every decided process decided the same
@@ -308,14 +332,19 @@ func RunABBA(cfg ABBAConfig) ABBAResult {
 		nodes[i] = nd
 		raw[i] = nd
 	}
-	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency}, nodes)
-	r.Run(cfg.MaxEvents)
+	limit := sim.ResolveEventBudget(cfg.MaxEvents)
+	r := sim.NewRunner(sim.Config{
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		DeliveryWorkers: resolveDeliveryWorkers(cfg.DeliveryWorkers),
+	}, nodes)
+	r.Run(limit)
 
 	res := ABBAResult{
 		Decisions: map[types.ProcessID]int{},
 		Rounds:    map[types.ProcessID]int{},
 		Metrics:   r.Metrics(),
 		EndTime:   r.Now(),
+		HitLimit:  limit > 0 && r.Pending() > 0,
 	}
 	for i, nd := range raw {
 		if v, ok := nd.Decided(); ok {
@@ -340,8 +369,10 @@ type ABBASweepStats struct {
 	// decision rounds (TotalRounds/Decided is the mean decision latency).
 	Decided, Undecided int
 	TotalRounds        int
-	EndTime            sim.VirtualTime
-	Metrics            *sim.Metrics
+	// HitLimits counts runs truncated at their MaxEvents budget.
+	HitLimits int
+	EndTime   sim.VirtualTime
+	Metrics   *sim.Metrics
 }
 
 // abbaRun is the per-seed record an ABBA sweep reduces over.
@@ -350,6 +381,7 @@ type abbaRun struct {
 	decided     int
 	undecided   int
 	totalRounds int
+	hitLimit    bool
 	endTime     sim.VirtualTime
 	metrics     *sim.Metrics
 }
@@ -363,6 +395,7 @@ func (s Sweeper) SweepABBA(seeds []int64, mk func(seed int64) ABBAConfig, check 
 		run := abbaRun{
 			decided:   len(r.Decisions),
 			undecided: r.Undecided,
+			hitLimit:  r.HitLimit,
 			endTime:   r.EndTime,
 			metrics:   r.Metrics,
 		}
@@ -381,6 +414,9 @@ func (s Sweeper) SweepABBA(seeds []int64, mk func(seed int64) ABBAConfig, check 
 		acc.Decided += run.decided
 		acc.Undecided += run.undecided
 		acc.TotalRounds += run.totalRounds
+		if run.hitLimit {
+			acc.HitLimits++
+		}
 		acc.EndTime += run.endTime
 		acc.Metrics = sim.MergeMetrics(acc.Metrics, run.metrics)
 		return acc

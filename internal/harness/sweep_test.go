@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/gather"
 	"repro/internal/quorum"
 	"repro/internal/sim"
 	"repro/internal/types"
@@ -160,5 +161,92 @@ func TestCheckAgreementDetectsDisagreement(t *testing.T) {
 	r = ABBAResult{Decisions: map[types.ProcessID]int{0: 1}, Undecided: 2}
 	if err := r.CheckAgreement(); err == nil {
 		t.Fatal("undecided processes not detected")
+	}
+}
+
+// TestRiderParallelDeliveryDeterministic pins the whole consensus stack
+// under the simulator's parallel same-time delivery: node results and the
+// full Metrics (incl. ByType) are byte-identical across 1, 2 and
+// GOMAXPROCS delivery workers, and the protocol properties hold.
+func TestRiderParallelDeliveryDeterministic(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	correct := types.FullSet(4)
+	mk := func(workers int) RiderResult {
+		return RunRider(RiderConfig{
+			Kind: Asymmetric, Trust: trust, NumWaves: 6, TxPerBlock: 2,
+			Seed: 17, CoinSeed: 19, DeliveryWorkers: workers,
+		})
+	}
+	ref := mk(1)
+	if err := ref.CheckTotalOrder(correct); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.CheckIntegrity(correct); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0) + 1} {
+		res := mk(w)
+		if !reflect.DeepEqual(res.Metrics, ref.Metrics) {
+			t.Fatalf("workers=%d: metrics diverged:\n got %+v\nwant %+v", w, res.Metrics, ref.Metrics)
+		}
+		if res.EndTime != ref.EndTime {
+			t.Fatalf("workers=%d: end time %d, want %d", w, res.EndTime, ref.EndTime)
+		}
+		if !reflect.DeepEqual(res.Nodes, ref.Nodes) {
+			t.Fatalf("workers=%d: node results diverged from 1-worker run", w)
+		}
+	}
+}
+
+// TestRunRiderEventBudget pins the MaxEvents plumbing: a tiny budget
+// truncates the run and flags HitLimit, the default budget leaves a
+// quiescing run untouched, and a negative budget means unbounded.
+func TestRunRiderEventBudget(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	base := RiderConfig{Kind: Asymmetric, Trust: trust, NumWaves: 3, Seed: 1, CoinSeed: 2}
+
+	tiny := base
+	tiny.MaxEvents = 10
+	if res := RunRider(tiny); !res.HitLimit {
+		t.Fatal("10-event budget not reported as hit")
+	}
+	if res := RunRider(base); res.HitLimit {
+		t.Fatal("default budget flagged on a quiescing run")
+	}
+	unbounded := base
+	unbounded.MaxEvents = -1
+	if res := RunRider(unbounded); res.HitLimit {
+		t.Fatal("unbounded run flagged HitLimit")
+	}
+
+	// The budget threads through the Sweeper as a per-run counter.
+	sw := Sweeper{Workers: 1}
+	stats := sw.SweepRider([]int64{1, 2, 3}, func(seed int64) RiderConfig {
+		cfg := tiny
+		cfg.Seed = seed
+		return cfg
+	}, nil)
+	if stats.HitLimits != 3 {
+		t.Fatalf("sweep HitLimits = %d, want 3", stats.HitLimits)
+	}
+
+	abba := ABBAConfig{Trust: trust, Seed: 1, CoinSeed: 2, MaxEvents: 4}
+	if res := RunABBA(abba); !res.HitLimit {
+		t.Fatal("ABBA 4-event budget not reported as hit")
+	}
+
+	// Gather runs share the budget convention, and SweepGather surfaces
+	// truncations — a non-quiescing schedule cannot hang a gather sweep.
+	gcfg := gather.RunConfig{Kind: gather.KindConstantRound, Trust: trust, Mode: gather.UsePlain, Seed: 1, MaxEvents: 3}
+	if res := gather.RunCluster(gcfg); !res.HitLimit {
+		t.Fatal("gather 3-event budget not reported as hit")
+	}
+	gstats := Sweeper{Workers: 1}.SweepGather([]int64{1, 2}, func(seed int64) gather.RunConfig {
+		cfg := gcfg
+		cfg.Seed = seed
+		return cfg
+	}, nil)
+	if gstats.HitLimits != 2 {
+		t.Fatalf("gather sweep HitLimits = %d, want 2", gstats.HitLimits)
 	}
 }

@@ -10,6 +10,32 @@
 // drawn from a single seeded source — so every execution is reproducible
 // from its seed.
 //
+// # Sharded event queue
+//
+// The priority queue is sharded by destination: one small (time, seq)-
+// ordered heap per receiver process ("lane"), merged through a winner
+// tournament tree over the lane heads (lanequeue.go). Push/pop cost
+// scales with the receiver's own backlog plus log n instead of the total
+// pending-event count, and the merge front exposes which receivers have
+// frontier events at the same virtual time. The pop sequence is byte-
+// identical to a single global heap over the same total order —
+// differential-tested against a retained copy of the previous 4-ary heap
+// — so serial execution is event-for-event unchanged.
+//
+// # Parallel same-time delivery
+//
+// Config.DeliveryWorkers > 0 opts a run into parallel delivery: all
+// frontier events sharing a timestamp with distinct receivers execute
+// their Receive handlers concurrently on a bounded worker pool, with
+// every effect (sends, broadcasts, metrics) buffered per receiver and
+// committed single-threaded in ascending receiver-ID order. Latency
+// draws and sequence numbers are assigned only at commit, from the run's
+// one seeded RNG, so the observable execution is a pure function of the
+// seed — byte-identical across 1, 2 or GOMAXPROCS delivery workers.
+// Nodes that call Env.Rand are kept on the single RNG stream by forcing
+// their timestamps back to serial delivery (see parallel.go for the full
+// contract). Serial mode (DeliveryWorkers == 0) remains the default.
+//
 // # Sweep determinism contract
 //
 // Executions with different seeds are independent, and Sweep (sweep.go)
@@ -44,6 +70,21 @@ type Message any
 // bandwidth metrics. Messages that do not implement it count as size 1.
 type Sizer interface {
 	SimSize() int
+}
+
+// MessageSize returns the byte size a message contributes to the metrics:
+// its SimSize if it implements Sizer, else 1. Wrapper messages (e.g. the
+// ACS per-instance envelope) use it to forward the inner payload's size
+// instead of collapsing every wrapped message to 1 byte.
+func MessageSize(msg Message) int { return msgSize(msg) }
+
+// Typer lets a message choose its own ByType metrics bucket. Messages
+// that do not implement it are bucketed by dynamic Go type (the "%T"
+// name). Wrapper messages implement it to attribute their traffic to the
+// wrapped instance and inner type instead of lumping every envelope into
+// one bucket.
+type Typer interface {
+	SimType() string
 }
 
 // Node is a deterministic protocol state machine. The simulator calls Init
@@ -154,6 +195,17 @@ type Config struct {
 	Latency LatencyModel // defaults to ConstantLatency(1)
 	Seed    int64
 	Filter  DropFilter // optional; nil delivers everything
+
+	// DeliveryWorkers opts into parallel same-time delivery: when > 0,
+	// Run/RunUntil deliver all frontier events that share a virtual
+	// timestamp as one batch, executing the Receive handlers of distinct
+	// receivers concurrently on up to DeliveryWorkers goroutines, with
+	// every effect buffered and committed single-threaded in receiver-ID
+	// order (see parallel.go for the determinism contract). 0 (the
+	// default) keeps the strictly serial one-event-at-a-time scheduler.
+	// The observable execution of parallel mode is a pure function of the
+	// seed: byte-identical for 1, 2 or GOMAXPROCS workers.
+	DeliveryWorkers int
 }
 
 // Metrics accumulates network statistics for an execution.
@@ -177,23 +229,10 @@ type event struct {
 	msg  Message
 }
 
-// eventQueue is a 4-ary min-heap of events by (time, sequence), stored by
-// value: no per-event allocation, no interface boxing (the container/heap
-// version allocated every event and dominated the GC profile of
-// message-heavy runs). Sifting moves elements into the vacated slot and
-// writes the saved element once ("hole" technique) instead of swapping,
-// halving the struct copies — each copy of an event crosses a GC write
-// barrier because Message is an interface. The (time, sequence) key is a
-// total order, so pop sequence — and therefore delivery order — is
-// independent of heap arity and identical to the old implementation.
-type eventQueue struct {
-	events []event
-}
-
-const heapArity = 4
-
-func (q *eventQueue) Len() int { return len(q.events) }
-
+// eventLess is the scheduler's total order: (time, sequence). seq is
+// globally unique and monotone, so no two events compare equal and the
+// pop sequence of any correct priority structure over this key is fully
+// determined.
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -201,62 +240,19 @@ func eventLess(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) push(e event) {
-	q.events = append(q.events, e)
-	i := len(q.events) - 1
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		if !eventLess(&e, &q.events[parent]) {
-			break
-		}
-		q.events[i] = q.events[parent]
-		i = parent
-	}
-	q.events[i] = e
-}
-
-func (q *eventQueue) pop() event {
-	ev := q.events[0]
-	last := len(q.events) - 1
-	moved := q.events[last]
-	q.events[last] = event{} // release the Message reference
-	q.events = q.events[:last]
-	if last == 0 {
-		return ev
-	}
-	i, n := 0, last
-	for {
-		first := heapArity*i + 1
-		if first >= n {
-			break
-		}
-		end := first + heapArity
-		if end > n {
-			end = n
-		}
-		smallest := first
-		for c := first + 1; c < end; c++ {
-			if eventLess(&q.events[c], &q.events[smallest]) {
-				smallest = c
-			}
-		}
-		if !eventLess(&q.events[smallest], &moved) {
-			break
-		}
-		q.events[i] = q.events[smallest]
-		i = smallest
-	}
-	q.events[i] = moved
-	return ev
-}
-
-// Runner owns an execution: the nodes, the event queue, the clock, and the
-// metrics. It is strictly single-threaded; determinism follows from the
-// seeded RNG and the (time, sequence) total order on events.
+// Runner owns an execution: the nodes, the sharded event queue, the
+// clock, and the metrics. All scheduler state — queue, clock, RNG,
+// metrics, sequence numbers — is touched only by the goroutine driving
+// the run; determinism follows from the seeded RNG and the (time,
+// sequence) total order on events. With Config.DeliveryWorkers > 0 the
+// Receive handlers of distinct same-timestamp receivers additionally run
+// concurrently, but their effects are buffered and committed back on the
+// driving goroutine (parallel.go), so the single-threaded-scheduler
+// invariant holds in both modes.
 type Runner struct {
 	cfg     Config
 	nodes   []Node
-	queue   eventQueue
+	queue   laneQueue
 	now     VirtualTime
 	seq     uint64
 	rng     *rand.Rand
@@ -271,10 +267,27 @@ type Runner struct {
 	// each env is immutable after construction, so reuse is safe.
 	envs []env
 
+	// randUsed[p] records that node p has drawn from Env.Rand at least
+	// once. Parallel delivery consults it: a timestamp batch containing a
+	// flagged receiver is delivered serially so the node keeps reading the
+	// run's single RNG stream (see parallel.go).
+	randUsed []bool
+
+	// Parallel-delivery scratch state, allocated only when
+	// cfg.DeliveryWorkers > 0 (see parallel.go).
+	parEnvs   []parEnv
+	perRecv   [][]event
+	batch     []event
+	active    []int
+	panicVals []any
+
 	// typeCounts accumulates per-message-type counters keyed by dynamic
 	// type; the string-keyed Metrics.ByType view is materialized lazily by
 	// Metrics(). Formatting "%T" per send used to show up in profiles.
-	typeCounts map[reflect.Type]*typeCounter
+	// Messages that implement Typer are bucketed by their SimType label in
+	// labelCounts instead.
+	typeCounts  map[reflect.Type]*typeCounter
+	labelCounts map[string]*typeCounter
 }
 
 type typeCounter struct {
@@ -297,10 +310,20 @@ func NewRunner(cfg Config, nodes []Node) *Runner {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		metrics:    newMetrics(),
 		envs:       make([]env, cfg.N),
+		randUsed:   make([]bool, cfg.N),
 		typeCounts: map[reflect.Type]*typeCounter{},
 	}
+	r.queue.init(cfg.N)
 	for i := range r.envs {
 		r.envs[i] = env{r: r, self: types.ProcessID(i)}
+	}
+	if cfg.DeliveryWorkers > 0 {
+		r.parEnvs = make([]parEnv, cfg.N)
+		for i := range r.parEnvs {
+			r.parEnvs[i] = parEnv{r: r, self: types.ProcessID(i)}
+		}
+		r.perRecv = make([][]event, cfg.N)
+		r.panicVals = make([]any, cfg.N)
 	}
 	return r
 }
@@ -314,7 +337,14 @@ type env struct {
 func (e *env) Self() types.ProcessID { return e.self }
 func (e *env) N() int                { return e.r.cfg.N }
 func (e *env) Now() VirtualTime      { return e.r.now }
-func (e *env) Rand() *rand.Rand      { return e.r.rng }
+
+// Rand returns the run's single seeded RNG and flags the node as a
+// randomness user: parallel delivery (parallel.go) keeps flagged nodes'
+// timestamps serial so the stream stays single-threaded.
+func (e *env) Rand() *rand.Rand {
+	e.r.randUsed[e.self] = true
+	return e.r.rng
+}
 
 func (e *env) Send(to types.ProcessID, msg Message) {
 	e.r.send(e.self, to, msg)
@@ -324,9 +354,23 @@ func (e *env) Broadcast(msg Message) {
 	e.r.broadcast(e.self, msg)
 }
 
-// typeCounter returns the per-dynamic-type metrics counter for msg,
-// creating it on the type's first appearance.
+// typeCounter returns the per-type metrics counter for msg, creating it
+// on first appearance. Typer messages choose their own bucket label (and
+// therefore pay the SimType call once per unicast or broadcast fan-out);
+// everything else is bucketed by dynamic type.
 func (r *Runner) typeCounter(msg Message) *typeCounter {
+	if tp, ok := msg.(Typer); ok {
+		name := tp.SimType()
+		tc, ok := r.labelCounts[name]
+		if !ok {
+			tc = &typeCounter{name: name}
+			if r.labelCounts == nil {
+				r.labelCounts = map[string]*typeCounter{}
+			}
+			r.labelCounts[name] = tc
+		}
+		return tc
+	}
 	t := reflect.TypeOf(msg)
 	tc, ok := r.typeCounts[t]
 	if !ok {
@@ -418,7 +462,9 @@ func (r *Runner) init() {
 }
 
 // Step delivers the next pending event. It returns false when the queue is
-// empty (quiescence).
+// empty (quiescence). Step is always the strictly serial path — Run and
+// RunUntil switch to timestamp batches only when Config.DeliveryWorkers
+// opts in.
 func (r *Runner) Step() bool {
 	r.init()
 	if r.queue.Len() == 0 {
@@ -431,11 +477,47 @@ func (r *Runner) Step() bool {
 	return true
 }
 
+// DefaultEventBudget is the event limit the protocol runners (gather,
+// ACS, rider, the public Cluster) apply when their config leaves the
+// budget field at 0 — roughly 10× what the largest legitimate run (n=100,
+// a couple of waves, ~6M deliveries) needs, so hitting it signals a
+// runaway schedule rather than truncating real work, while a
+// non-quiescing schedule can no longer hang a sweep forever.
+const DefaultEventBudget = 50_000_000
+
+// ResolveEventBudget maps a config's budget field to a Run limit under
+// the shared convention: 0 selects DefaultEventBudget, a negative value
+// means unbounded (0 to Run), and a positive value is used as-is. A run
+// was truncated by its budget iff the resolved limit is > 0 and events
+// are still Pending afterwards.
+func ResolveEventBudget(configured int) int {
+	if configured == 0 {
+		return DefaultEventBudget
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
+}
+
 // Run processes events until quiescence or until limit events have been
 // delivered (limit <= 0 means no limit). It returns the number of events
-// processed.
+// processed. In parallel mode (Config.DeliveryWorkers > 0) delivery
+// advances one whole timestamp batch at a time, so the run may overshoot
+// limit by at most the final batch — by the same amount for every worker
+// count.
 func (r *Runner) Run(limit int) int {
 	processed := 0
+	if r.cfg.DeliveryWorkers > 0 {
+		for limit <= 0 || processed < limit {
+			n := r.stepBatch()
+			if n == 0 {
+				break
+			}
+			processed += n
+		}
+		return processed
+	}
 	for limit <= 0 || processed < limit {
 		if !r.Step() {
 			break
@@ -446,13 +528,28 @@ func (r *Runner) Run(limit int) int {
 }
 
 // RunUntil processes events until pred() is true, quiescence, or the event
-// limit; it reports whether pred became true.
+// limit; it reports whether pred became true. In parallel mode pred is
+// evaluated between timestamp batches rather than between single events —
+// at the same points for every worker count.
 func (r *Runner) RunUntil(pred func() bool, limit int) bool {
 	r.init()
 	if pred() {
 		return true
 	}
 	processed := 0
+	if r.cfg.DeliveryWorkers > 0 {
+		for limit <= 0 || processed < limit {
+			n := r.stepBatch()
+			if n == 0 {
+				return pred()
+			}
+			processed += n
+			if pred() {
+				return true
+			}
+		}
+		return false
+	}
 	for limit <= 0 || processed < limit {
 		if !r.Step() {
 			return pred()
@@ -478,6 +575,9 @@ func (r *Runner) Pending() int { return r.queue.Len() }
 // ByType again.
 func (r *Runner) Metrics() *Metrics {
 	for _, tc := range r.typeCounts {
+		r.metrics.ByType[tc.name] = tc.count
+	}
+	for _, tc := range r.labelCounts {
 		r.metrics.ByType[tc.name] = tc.count
 	}
 	return r.metrics

@@ -196,6 +196,44 @@ func TestCrashNode(t *testing.T) {
 	}
 }
 
+// TestCrashNodeBoundaryAtCrashAt pins the fail-stop boundary semantics: a
+// message arriving strictly before CrashAt is processed; a message
+// arriving exactly AT CrashAt is not (Receive checks Now() >= CrashAt).
+// The satellite suites (and any experiment scheduling crashes against
+// known latencies) rely on this half-open [start, CrashAt) live window.
+func TestCrashNodeBoundaryAtCrashAt(t *testing.T) {
+	inner := &arrivalProbe{}
+	crash := &CrashNode{Inner: inner, CrashAt: 5}
+	nodes := []Node{&silentNode{}, crash}
+	// Process 0 sends two pings to the crash node: one arriving at time 4
+	// (processed) and one arriving exactly at time 5 (dropped).
+	lat := LatencyFunc(func(_, _ types.ProcessID, msg Message, _ VirtualTime, _ *rand.Rand) VirtualTime {
+		return VirtualTime(msg.(ping).payload)
+	})
+	r := NewRunner(Config{N: 2, Seed: 1, Latency: lat}, nodes)
+	r.init()
+	r.send(0, 1, ping{payload: 4})
+	r.send(0, 1, ping{payload: 5})
+	r.Run(0)
+	if len(inner.times) != 1 || inner.times[0] != 4 {
+		t.Fatalf("processed arrival times = %v, want exactly [4] (the at-CrashAt arrival must be dropped)", inner.times)
+	}
+	if !crash.Crashed() {
+		t.Fatal("node should have fail-stopped at the CrashAt arrival")
+	}
+}
+
+// arrivalProbe records arrival times and sends nothing, so the only
+// traffic in its cluster is what the test injects.
+type arrivalProbe struct {
+	times []VirtualTime
+}
+
+func (*arrivalProbe) Init(Env) {}
+func (p *arrivalProbe) Receive(e Env, _ types.ProcessID, _ Message) {
+	p.times = append(p.times, e.Now())
+}
+
 func TestMuteNode(t *testing.T) {
 	nodes := []Node{&pingNode{}, MuteNode{}, &pingNode{}}
 	r := NewRunner(Config{N: 3, Seed: 1}, nodes)
