@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench benchcmp search clean
+.PHONY: all build test vet bench benchcmp search scenarios clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -15,10 +15,18 @@ build:
 	$(GO) build ./...
 
 # vet + race detector: the sweep engine's worker pool must stay race-clean,
-# and the randomized conformance suites exercise it on every run.
-test:
+# and the randomized conformance suites exercise it on every run. The
+# scenario registry sweep rides along so `make test` always exercises the
+# adversarial scenarios end to end.
+test: scenarios
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Sweep every built-in adversarial scenario (internal/scenario) over a few
+# seeds and check each one's declared Definition 4.1 properties; bounded to
+# a few seconds.
+scenarios:
+	$(GO) run ./cmd/experiments -run scenarios
 
 vet:
 	$(GO) vet ./...

@@ -10,6 +10,7 @@ import (
 	"repro/internal/quorum"
 	"repro/internal/register"
 	"repro/internal/rider"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -192,6 +193,126 @@ func NewBindingGatherNode(cfg GatherNodeConfig) *BindingGatherNode {
 // GatherNodeConfig configures a single gather node (as opposed to
 // GatherConfig, which configures a whole simulated cluster run).
 type GatherNodeConfig = gather.Config
+
+// Declarative adversarial scenarios. --------------------------------------
+
+type (
+	// Scenario is a declarative adversarial setup: timed link-fault rules
+	// plus per-node fault wrappers, with the Definition 4.1 properties the
+	// run is expected to keep.
+	Scenario = scenario.Scenario
+	// ScenarioRule is one timed link-fault rule (drop, duplicate, delay,
+	// hold-until, redeliver) over a link selector and a time window.
+	ScenarioRule = scenario.Rule
+	// ScenarioWindow is a half-open virtual-time activity window.
+	ScenarioWindow = scenario.Window
+	// ScenarioJitter draws a delay uniformly from [Min, Max].
+	ScenarioJitter = scenario.Jitter
+	// ScenarioLinks selects the directed links a rule applies to.
+	ScenarioLinks = scenario.Links
+	// ScenarioProperty names a Definition 4.1 property a scenario declares.
+	ScenarioProperty = scenario.Property
+	// ScenarioNodeFault attaches a fault wrapper to one process.
+	ScenarioNodeFault = scenario.NodeFault
+	// ScenarioDefinition is a named, parameterized scenario builder.
+	ScenarioDefinition = scenario.Definition
+	// FaultPlane injects message faults at the simulator's deterministic
+	// send- and deliver-commit points.
+	FaultPlane = sim.FaultPlane
+	// ScenarioSweepConfig parameterizes a scenario × seed sweep.
+	ScenarioSweepConfig = harness.ScenarioSweepConfig
+	// ScenarioSweepStats aggregates one scenario's sweep.
+	ScenarioSweepStats = harness.ScenarioSweepStats
+	// ScenarioFailure identifies the first failing (scenario, seed) pair.
+	ScenarioFailure = harness.ScenarioFailure
+)
+
+// Scenario property constants (paper Definition 4.1).
+const (
+	ScenarioTotalOrder = scenario.TotalOrder
+	ScenarioAgreement  = scenario.Agreement
+	ScenarioIntegrity  = scenario.Integrity
+	ScenarioValidity   = scenario.Validity
+	ScenarioLiveness   = scenario.Liveness
+)
+
+// SafetyScenarioProperties returns the safety subset of Definition 4.1
+// (total order, agreement, integrity) — what information-destroying faults
+// must still preserve.
+func SafetyScenarioProperties() []ScenarioProperty { return scenario.SafetyProperties() }
+
+// AllScenarioProperties returns every Definition 4.1 property, for
+// scenarios the protocol is expected to fully ride out.
+func AllScenarioProperties() []ScenarioProperty { return scenario.AllProperties() }
+
+// BuiltinScenarios returns the registry of named adversarial scenarios,
+// each bundled with the properties it is expected to keep.
+func BuiltinScenarios() []ScenarioDefinition { return scenario.Builtins() }
+
+// FindScenario looks a built-in scenario up by name.
+func FindScenario(name string) (ScenarioDefinition, bool) { return scenario.Find(name) }
+
+// ScenarioNames lists the built-in scenario names in registry order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LinksFrom selects links originating in s.
+func LinksFrom(s Set) ScenarioLinks { return scenario.FromSet(s) }
+
+// LinksTo selects links terminating in s.
+func LinksTo(s Set) ScenarioLinks { return scenario.ToSet(s) }
+
+// LinksBetween selects links crossing between a and b (both directions).
+func LinksBetween(a, b Set) ScenarioLinks { return scenario.Between(a, b) }
+
+// ChurnFault crashes p at crashAt and recovers it at recoverAt; with
+// buffer, deliveries during the outage are replayed on recovery (the
+// process counts as correct), otherwise they are lost (faulty).
+func ChurnFault(p ProcessID, crashAt, recoverAt int64, buffer bool) ScenarioNodeFault {
+	return scenario.Churn(p, sim.VirtualTime(crashAt), sim.VirtualTime(recoverAt), buffer)
+}
+
+// SelectiveFault makes p send protocol messages only to allow.
+func SelectiveFault(p ProcessID, allow Set) ScenarioNodeFault { return scenario.Selective(p, allow) }
+
+// StaleReplayFault makes p re-send an old message alongside every
+// every-th fresh one.
+func StaleReplayFault(p ProcessID, every int) ScenarioNodeFault {
+	return scenario.StaleReplay(p, every)
+}
+
+// EquivocateFault makes p show groupA its genuine stream while the rest
+// receive p's previous broadcast instead.
+func EquivocateFault(p ProcessID, groupA Set) ScenarioNodeFault {
+	return scenario.Equivocate(p, groupA)
+}
+
+// SweepScenario runs one scenario across the seeds and aggregates stats;
+// per-run properties are those the scenario declares.
+func SweepScenario(def ScenarioDefinition, seeds []int64, cfg ScenarioSweepConfig) ScenarioSweepStats {
+	return harness.SweepScenario(def, seeds, cfg)
+}
+
+// SweepScenarios sweeps every definition and reports the first failing
+// (scenario, seed) pair, if any.
+func SweepScenarios(defs []ScenarioDefinition, seeds []int64, cfg ScenarioSweepConfig) ([]ScenarioSweepStats, *ScenarioFailure) {
+	return harness.SweepScenarios(defs, seeds, cfg)
+}
+
+// CheckScenarioProperties verifies one run against the scenario's declared
+// properties (guild-scoped, per the paper).
+func CheckScenarioProperties(def ScenarioDefinition, res RiderResult) error {
+	return harness.CheckScenarioProperties(def, res)
+}
+
+// ScenarioRun builds the rider configuration a scenario sweep uses for one
+// seed and executes it — the single-run counterpart of SweepScenario, for
+// replaying a failing seed.
+func ScenarioRun(def ScenarioDefinition, cfg ScenarioSweepConfig, seed int64) RiderResult {
+	return harness.RunRider(harness.ScenarioRiderConfig(def, cfg, seed))
+}
+
+// SeedRange returns seeds start, start+1, ..., start+count-1 for sweeps.
+func SeedRange(start int64, count int) []int64 { return sim.SeedRange(start, count) }
 
 // Real-network deployment (TCP). -----------------------------------------
 

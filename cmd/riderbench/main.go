@@ -69,6 +69,7 @@ func main() {
 		commits, med int
 		vtime        int64
 		msgs         int
+		hitLimit     bool
 	}
 	res := sim.Sweep(sim.SeedRange(0, *seeds), *workers, func(seed int64) record {
 		r := harness.RunRider(harness.RiderConfig{
@@ -83,8 +84,10 @@ func main() {
 				strconv.Itoa(*waves), strconv.Itoa(commits), strconv.Itoa(med),
 				strconv.FormatInt(int64(r.EndTime), 10),
 				strconv.Itoa(r.Metrics.MessagesSent), strconv.Itoa(r.Metrics.BytesSent),
+				strconv.FormatBool(r.HitLimit),
 			},
 			commits: commits, med: med, vtime: int64(r.EndTime), msgs: r.Metrics.MessagesSent,
+			hitLimit: r.HitLimit,
 		}
 	})
 	if err := res.Err(); err != nil {
@@ -94,19 +97,31 @@ func main() {
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	_ = w.Write([]string{"kind", "system", "n", "seed", "waves", "max_commits", "median_tx", "vtime", "messages", "bytes"})
-	sum := sim.Reduce(res, record{}, func(acc record, _ int64, r record) record {
+	_ = w.Write([]string{"kind", "system", "n", "seed", "waves", "max_commits", "median_tx", "vtime", "messages", "bytes", "hit_limit"})
+	hitLimits := 0
+	firstHitSeed := int64(-1)
+	sum := sim.Reduce(res, record{}, func(acc record, seed int64, r record) record {
 		_ = w.Write(r.row)
 		acc.commits += r.commits
 		acc.med += r.med
 		acc.vtime += r.vtime
 		acc.msgs += r.msgs
+		if r.hitLimit {
+			hitLimits++
+			if firstHitSeed < 0 {
+				firstHitSeed = seed
+			}
+		}
 		return acc
 	})
 	if runs := len(res.Values); runs > 0 {
 		fr := float64(runs)
 		fmt.Fprintf(os.Stderr, "summary: %d runs, mean commits %.1f, mean median-tx %.1f, mean vtime %.0f, mean msgs %.0f\n",
 			runs, float64(sum.commits)/fr, float64(sum.med)/fr, float64(sum.vtime)/fr, float64(sum.msgs)/fr)
+		if hitLimits > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d/%d runs truncated at their event budget (first seed %d); results understate the full execution\n",
+				hitLimits, runs, firstHitSeed)
+		}
 	}
 }
 

@@ -71,6 +71,22 @@
 //     Cluster runs are also bounded by a generous MaxSteps event budget
 //     (ClusterResult.HitLimit / RiderResult.HitLimit report truncation),
 //     so a non-quiescing adversarial schedule can no longer hang a sweep.
+//   - A declarative adversarial scenario engine (internal/scenario + the
+//     harness scenario sweeps): scenarios compose timed link-fault rules
+//     (drop, duplicate, extra delay, hold-until healing partitions,
+//     probabilistic redelivery) with per-process fault wrappers (crash,
+//     mute, crash-recover churn with buffered or lossy outages, selective
+//     send, stale replay, equivocation), and declare the Definition 4.1
+//     properties — total order, agreement, integrity, validity, liveness —
+//     each run must keep for the maximal guild of the scenario's faulty
+//     set. Rules compile into a sim.FaultPlane evaluated at the
+//     simulator's single-threaded send- and deliver-commit points with the
+//     run's seeded RNG, so every scenario execution is a pure function of
+//     the seed — byte-identical across DeliveryWorkers counts. A registry
+//     of built-in scenarios (BuiltinScenarios) backs the scenario × seed
+//     conformance sweeps (SweepScenarios, with first-failing (scenario,
+//     seed) attribution), the `scenarios` experiment, and
+//     examples/faulttolerance.
 //
 // # Quickstart
 //

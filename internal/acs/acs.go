@@ -255,6 +255,8 @@ type RunConfig struct {
 	Seed, CoinSeed int64
 	// Faulty replaces the given processes with faulty behaviours.
 	Faulty map[types.ProcessID]sim.Node
+	// Fault is an optional scenario fault plane (see sim.FaultPlane).
+	Fault sim.FaultPlane
 	// DeliveryWorkers opts the run into the simulator's parallel
 	// same-time delivery (0 = serial; see sim.Config.DeliveryWorkers).
 	DeliveryWorkers int
@@ -301,7 +303,7 @@ func Run(cfg RunConfig) RunResult {
 	}
 	limit := sim.ResolveEventBudget(cfg.MaxEvents)
 	r := sim.NewRunner(sim.Config{
-		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency, Fault: cfg.Fault,
 		DeliveryWorkers: cfg.DeliveryWorkers,
 	}, nodes)
 	r.Run(limit)

@@ -40,6 +40,8 @@ type RunConfig struct {
 	Seed    int64
 	// Faulty optionally replaces nodes with faulty behaviours.
 	Faulty map[types.ProcessID]sim.Node
+	// Fault is an optional scenario fault plane (see sim.FaultPlane).
+	Fault sim.FaultPlane
 	// MaxEvents bounds the run (0 = the generous sim.DefaultEventBudget,
 	// < 0 = unbounded) — the convention shared with the other protocol
 	// runners, so a non-quiescing schedule cannot hang a gather sweep.
@@ -83,7 +85,7 @@ func RunCluster(cfg RunConfig) RunResult {
 		nodes[p] = f
 	}
 	limit := sim.ResolveEventBudget(cfg.MaxEvents)
-	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency}, nodes)
+	r := sim.NewRunner(sim.Config{N: n, Seed: cfg.Seed, Latency: cfg.Latency, Fault: cfg.Fault}, nodes)
 	r.Run(limit)
 
 	res := RunResult{

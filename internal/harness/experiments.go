@@ -341,7 +341,7 @@ func ExpFaults() string {
 	sw := Sweeper{Workers: DefaultSweepWorkers}
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "scenario\tguild size\tseeds ok\tcommitted nodes\tproperties")
+	fmt.Fprintln(w, "scenario\tguild size\tseeds ok\thit limits\tcommitted nodes\tproperties")
 
 	report := func(name string, within types.Set, mk func(seed int64) RiderConfig) {
 		stats := sw.SweepRider(sim.SeedRange(1, seedsPerScenario), mk, func(res RiderResult) error {
@@ -357,9 +357,9 @@ func ExpFaults() string {
 		if stats.First != nil {
 			verdict = "VIOLATED at " + stats.First.String()
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d/%d\t%s\n",
+		fmt.Fprintf(w, "%s\t%d\t%d/%d\t%d\t%d/%d\t%s\n",
 			name, within.Count(), stats.Seeds-stats.Failures, stats.Seeds,
-			stats.DecidedNodes, stats.Nodes, verdict)
+			stats.HitLimits, stats.DecidedNodes, stats.Nodes, verdict)
 	}
 
 	// Mute one of threshold(4,1).

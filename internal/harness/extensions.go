@@ -27,6 +27,7 @@ func ExtensionExperiments() []Experiment {
 		{"gc", "§4.5 memory: garbage-collected DAG vs unbounded DAG-Rider", ExpGC},
 		{"latency", "Vertex commit latency in rounds (wave-structure cost)", ExpLatency},
 		{"batching", "Throughput vs block size (dissemination/ordering decoupling)", ExpBatching},
+		{"scenarios", "Adversarial scenario registry: Definition 4.1 properties per built-in scenario", ExpScenarios},
 	}
 }
 

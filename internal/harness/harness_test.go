@@ -151,8 +151,8 @@ func TestCheckersCatchViolations(t *testing.T) {
 
 func TestExtensionExperimentsRegistered(t *testing.T) {
 	exts := ExtensionExperiments()
-	if len(exts) != 5 {
-		t.Fatalf("expected 5 extension experiments, got %d", len(exts))
+	if len(exts) != 6 {
+		t.Fatalf("expected 6 extension experiments, got %d", len(exts))
 	}
 	if len(AllWithExtensions()) != len(All())+len(exts) {
 		t.Fatal("AllWithExtensions should append extensions")

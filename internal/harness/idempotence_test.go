@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acs"
+	"repro/internal/gather"
+	"repro/internal/quorum"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Duplicate-delivery idempotence conformance: a fault plane re-delivers a
+// sampled subset of messages across every protocol runner (rider, gather,
+// abba, acs) and the protocols' properties must still hold — message
+// handlers are required to be idempotent (an asynchronous network may
+// always duplicate), and this suite pins that before the duplication
+// faults of the scenario registry rely on it.
+
+// redeliverPlane compiles a link rule re-delivering ~15% of all messages
+// 1..30 time units after their first delivery.
+func redeliverPlane() sim.FaultPlane {
+	sc := scenario.Scenario{Rules: []scenario.Rule{{
+		Redeliver:      0.15,
+		RedeliverDelay: scenario.Jitter{Min: 1, Max: 30},
+	}}}
+	return sc.FaultPlane()
+}
+
+// requireDuplicates fails the test if the sweep's metrics show no
+// redeliveries (a vacuous idempotence check): every redelivered copy
+// counts as a delivery but not as a send.
+func requireDuplicates(t *testing.T, m *sim.Metrics) {
+	t.Helper()
+	if m.MessagesDelivered <= m.MessagesSent {
+		t.Fatalf("no duplicate deliveries injected (delivered %d <= sent %d): vacuous sweep",
+			m.MessagesDelivered, m.MessagesSent)
+	}
+}
+
+// TestDuplicateDeliveryIdempotenceRider re-runs the Definition 4.1
+// conformance sweep with ~15% of deliveries duplicated.
+func TestDuplicateDeliveryIdempotenceRider(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	stats := Sweeper{}.SweepRider(sim.SeedRange(1, count), func(seed int64) RiderConfig {
+		cfg := conformanceConfig(seed)
+		cfg.Fault = redeliverPlane()
+		return cfg
+	}, conformanceCheck)
+	if stats.Failures > 0 {
+		t.Fatalf("%d/%d seeds violated Definition 4.1 under duplicate delivery; first failing %s",
+			stats.Failures, stats.Seeds, stats.First)
+	}
+	if stats.DecidedNodes == 0 {
+		t.Fatal("sweep vacuous: no node decided")
+	}
+	requireDuplicates(t, stats.Metrics)
+}
+
+// TestDuplicateDeliveryIdempotenceGather sweeps the constant-round gather
+// under duplicate delivery: everyone must still g-deliver a common core.
+func TestDuplicateDeliveryIdempotenceGather(t *testing.T) {
+	count := 30
+	if testing.Short() {
+		count = 6
+	}
+	stats := Sweeper{}.SweepGather(sim.SeedRange(1, count), func(seed int64) gather.RunConfig {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		sys, err := quorum.RandomAsymmetric(quorum.RandomAsymmetricConfig{
+			N: n, NumSets: 1 + rng.Intn(2), MaxFault: 1, Seed: rng.Int63(),
+		})
+		if err != nil {
+			sys, err = quorum.NewThresholdExplicit(n, (n-1)/3)
+			if err != nil {
+				panic(err)
+			}
+		}
+		return gather.RunConfig{
+			Kind: gather.KindConstantRound, Trust: sys, Mode: gather.UsePlain,
+			Latency: sim.UniformLatency{Min: 1, Max: 20},
+			Seed:    seed, Fault: redeliverPlane(),
+		}
+	}, func(cfg gather.RunConfig, res gather.RunResult) error {
+		if len(res.Outputs) != cfg.Trust.N() {
+			return fmt.Errorf("only %d/%d processes g-delivered", len(res.Outputs), cfg.Trust.N())
+		}
+		return nil
+	})
+	if stats.Failures > 0 {
+		t.Fatalf("%d/%d gather seeds failed under duplicate delivery; first %s",
+			stats.Failures, stats.Seeds, stats.First)
+	}
+	if stats.CommonCores != stats.Runs {
+		t.Fatalf("common core missing in %d/%d duplicated runs", stats.Runs-stats.CommonCores, stats.Runs)
+	}
+	requireDuplicates(t, stats.Metrics)
+}
+
+// TestDuplicateDeliveryIdempotenceABBA sweeps binary agreement under
+// duplicate delivery: agreement and termination must survive.
+func TestDuplicateDeliveryIdempotenceABBA(t *testing.T) {
+	count := 30
+	if testing.Short() {
+		count = 6
+	}
+	trust := quorum.NewThreshold(7, 2)
+	stats := Sweeper{}.SweepABBA(sim.SeedRange(1, count), func(seed int64) ABBAConfig {
+		return ABBAConfig{
+			Trust: trust,
+			Inputs: func(p types.ProcessID) int {
+				return int((seed + int64(p)) % 2)
+			},
+			Seed:     seed,
+			CoinSeed: seed*13 + 5,
+			Fault:    redeliverPlane(),
+		}
+	}, nil)
+	if stats.Failures > 0 {
+		t.Fatalf("%d/%d seeds violated binary agreement under duplicate delivery; first %s",
+			stats.Failures, stats.Seeds, stats.First)
+	}
+	if stats.Undecided > 0 {
+		t.Fatalf("%d processes left undecided under duplicate delivery", stats.Undecided)
+	}
+	requireDuplicates(t, stats.Metrics)
+}
+
+// TestDuplicateDeliveryIdempotenceACS runs the ACS cluster under duplicate
+// delivery: every process must finish and all outputs must agree.
+func TestDuplicateDeliveryIdempotenceACS(t *testing.T) {
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	trust := quorum.NewThreshold(4, 1)
+	for seed := int64(1); seed <= seeds; seed++ {
+		res := acs.Run(acs.RunConfig{
+			Trust: trust, Seed: seed, CoinSeed: seed*17 + 3,
+			Fault: redeliverPlane(),
+		})
+		if res.HitLimit {
+			t.Fatalf("seed %d: run truncated at its event budget", seed)
+		}
+		if len(res.Outputs) != trust.N() {
+			t.Fatalf("seed %d: %d/%d processes produced an ACS output", seed, len(res.Outputs), trust.N())
+		}
+		var ref acs.Pairs
+		for p, o := range res.Outputs {
+			if ref.IsZero() {
+				ref = o
+				continue
+			}
+			if !ref.ContainsAll(o) || !o.ContainsAll(ref) {
+				t.Fatalf("seed %d: ACS outputs differ at %v under duplicate delivery", seed, p)
+			}
+		}
+		requireDuplicates(t, res.Metrics)
+	}
+}

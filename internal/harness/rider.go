@@ -53,6 +53,14 @@ type RiderConfig struct {
 	Latency sim.LatencyModel
 	// Faulty replaces the given processes with faulty behaviours.
 	Faulty map[types.ProcessID]sim.Node
+	// Fault is an optional scenario fault plane applied at the simulator's
+	// send-commit and delivery points (see sim.FaultPlane).
+	Fault sim.FaultPlane
+	// Wrap, if non-nil, wraps every constructed node (after Faulty
+	// substitution) — the scenario engine's hook for crash/churn/Byzantine
+	// behaviours. Result collection unwraps through sim.Unwrap, so a
+	// wrapped protocol node's observable state is still reported.
+	Wrap func(p types.ProcessID, inner sim.Node) sim.Node
 	// MaxEvents bounds the simulation (0 = the generous DefaultMaxEvents,
 	// < 0 = unbounded). The default keeps a non-quiescing schedule from
 	// hanging a sweep forever; RiderResult.HitLimit reports a truncated
@@ -153,10 +161,15 @@ func RunRider(cfg RiderConfig) RiderResult {
 	for p, f := range cfg.Faulty {
 		nodes[p] = f
 	}
+	if cfg.Wrap != nil {
+		for i := range nodes {
+			nodes[i] = cfg.Wrap(types.ProcessID(i), nodes[i])
+		}
+	}
 
 	limit := sim.ResolveEventBudget(cfg.MaxEvents)
 	r := sim.NewRunner(sim.Config{
-		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency, Fault: cfg.Fault,
 		DeliveryWorkers: resolveDeliveryWorkers(cfg.DeliveryWorkers),
 	}, nodes)
 	r.Run(limit)
@@ -170,7 +183,7 @@ func RunRider(cfg RiderConfig) RiderResult {
 	}
 	for i, nd := range nodes {
 		p := types.ProcessID(i)
-		switch v := nd.(type) {
+		switch v := sim.Unwrap(nd).(type) {
 		case *core.Node:
 			res.Nodes[p] = NodeResult{
 				Deliveries:  v.Deliveries(),

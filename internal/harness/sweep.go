@@ -261,6 +261,8 @@ type ABBAConfig struct {
 	Seed, CoinSeed int64
 	// Latency is the network model (default uniform 1..20).
 	Latency sim.LatencyModel
+	// Fault is an optional scenario fault plane (see sim.FaultPlane).
+	Fault sim.FaultPlane
 	// MaxEvents bounds the simulation (0 = the generous DefaultMaxEvents,
 	// < 0 = unbounded); ABBAResult.HitLimit reports a truncated run.
 	MaxEvents int
@@ -334,7 +336,7 @@ func RunABBA(cfg ABBAConfig) ABBAResult {
 	}
 	limit := sim.ResolveEventBudget(cfg.MaxEvents)
 	r := sim.NewRunner(sim.Config{
-		N: n, Seed: cfg.Seed, Latency: cfg.Latency,
+		N: n, Seed: cfg.Seed, Latency: cfg.Latency, Fault: cfg.Fault,
 		DeliveryWorkers: resolveDeliveryWorkers(cfg.DeliveryWorkers),
 	}, nodes)
 	r.Run(limit)

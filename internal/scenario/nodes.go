@@ -1,0 +1,260 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Byzantine node wrappers. --------------------------------------------------
+//
+// Each wrapper runs the real protocol node but intercepts its outbound
+// traffic through a hooked Env, so the adversarial behaviour lives entirely
+// at the network boundary: the inner node's state machine is untouched and
+// its results remain observable through sim.Unwrap. The wrappers hold only
+// per-node state and never call Env.Rand — in parallel-delivery mode the
+// hooked Env may be a buffering parEnv executing concurrently with other
+// receivers, and both restrictions are what keep that sound (see the
+// package comment's determinism contract).
+
+// sendHook is the interception point a wrapper implements: it receives the
+// inner node's Send/Broadcast calls together with the real Env to forward
+// (possibly mutated) traffic through.
+type sendHook interface {
+	hookSend(env sim.Env, to types.ProcessID, msg sim.Message)
+	hookBroadcast(env sim.Env, msg sim.Message)
+}
+
+// hookEnv wraps the Env of the current Init/Receive call, routing the
+// inner node's sends to the owning wrapper's hook. One hookEnv is pooled
+// per wrapper and rebound to the live Env per call — only the goroutine
+// executing the node touches it, matching the Env single-call contract.
+type hookEnv struct {
+	base  sim.Env
+	owner sendHook
+}
+
+var _ sim.Env = (*hookEnv)(nil)
+
+func (h *hookEnv) Self() types.ProcessID { return h.base.Self() }
+func (h *hookEnv) N() int                { return h.base.N() }
+func (h *hookEnv) Now() sim.VirtualTime  { return h.base.Now() }
+func (h *hookEnv) Rand() *rand.Rand      { return h.base.Rand() }
+
+func (h *hookEnv) Send(to types.ProcessID, msg sim.Message) {
+	h.owner.hookSend(h.base, to, msg)
+}
+
+func (h *hookEnv) Broadcast(msg sim.Message) {
+	h.owner.hookBroadcast(h.base, msg)
+}
+
+// run executes fn (an inner Init or Receive) with the hook rebound to env.
+func (h *hookEnv) run(env sim.Env, fn func(sim.Env)) {
+	h.base = env
+	fn(h)
+	h.base = nil
+}
+
+// SelectiveNode is a Byzantine sender that talks only to an allowed subset:
+// every Send or Broadcast of the inner node is suppressed for destinations
+// outside Allow (a broadcast degenerates to per-destination sends to the
+// allowed members, in ascending ID order). Reliable dissemination must
+// tolerate it: receivers inside Allow echo the vertex onward.
+type SelectiveNode struct {
+	Inner sim.Node
+	Allow types.Set
+
+	hook hookEnv
+}
+
+var _ sim.Node = (*SelectiveNode)(nil)
+var _ sim.Unwrapper = (*SelectiveNode)(nil)
+
+// Init implements sim.Node.
+func (s *SelectiveNode) Init(env sim.Env) {
+	s.hook.owner = s
+	s.hook.run(env, s.Inner.Init)
+}
+
+// Receive implements sim.Node.
+func (s *SelectiveNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	s.hook.owner = s
+	s.hook.run(env, func(e sim.Env) { s.Inner.Receive(e, from, msg) })
+}
+
+func (s *SelectiveNode) hookSend(env sim.Env, to types.ProcessID, msg sim.Message) {
+	if s.Allow.Contains(to) {
+		env.Send(to, msg)
+	}
+}
+
+func (s *SelectiveNode) hookBroadcast(env sim.Env, msg sim.Message) {
+	s.Allow.ForEach(func(to types.ProcessID) bool {
+		env.Send(to, msg)
+		return true
+	})
+}
+
+// Unwrap implements sim.Unwrapper.
+func (s *SelectiveNode) Unwrap() sim.Node { return s.Inner }
+
+// StaleReplayNode is a Byzantine sender that replays recorded traffic:
+// every Every-th broadcast of the inner node is followed by a replay of
+// the oldest recorded broadcast — a genuine message reinjected long after
+// its time. The cadence is a deterministic counter, never randomness, so
+// the wrapper is safe inside concurrent Receive execution. Handlers must
+// treat the replays as the duplicate deliveries they are.
+type StaleReplayNode struct {
+	Inner sim.Node
+	// Every triggers a replay after each Every-th broadcast (values < 1
+	// behave as 1: every broadcast is followed by a replay).
+	Every int
+
+	hook  hookEnv
+	count int
+	first sim.Message
+}
+
+var _ sim.Node = (*StaleReplayNode)(nil)
+var _ sim.Unwrapper = (*StaleReplayNode)(nil)
+
+// Init implements sim.Node.
+func (s *StaleReplayNode) Init(env sim.Env) {
+	s.hook.owner = s
+	s.hook.run(env, s.Inner.Init)
+}
+
+// Receive implements sim.Node.
+func (s *StaleReplayNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	s.hook.owner = s
+	s.hook.run(env, func(e sim.Env) { s.Inner.Receive(e, from, msg) })
+}
+
+func (s *StaleReplayNode) hookSend(env sim.Env, to types.ProcessID, msg sim.Message) {
+	env.Send(to, msg)
+}
+
+func (s *StaleReplayNode) hookBroadcast(env sim.Env, msg sim.Message) {
+	env.Broadcast(msg)
+	if s.first == nil {
+		s.first = msg
+		return
+	}
+	s.count++
+	every := s.Every
+	if every < 1 {
+		every = 1
+	}
+	if s.count%every == 0 {
+		env.Broadcast(s.first)
+	}
+}
+
+// Unwrap implements sim.Unwrapper.
+func (s *StaleReplayNode) Unwrap() sim.Node { return s.Inner }
+
+// EquivocateNode is a Byzantine sender that shows different processes
+// different histories: each broadcast of the inner node reaches GroupA
+// genuinely, while every process outside GroupA instead receives the
+// *previous* broadcast again (nothing, before the first). The receiver
+// sets are disjoint by construction and the substituted message is a real
+// protocol message, so the equivocation is type-correct and must be
+// absorbed by reliable dissemination among the correct processes.
+type EquivocateNode struct {
+	Inner sim.Node
+	// GroupA receives genuine broadcasts; its complement gets the replayed
+	// previous broadcast. The sender should keep itself in GroupA, or its
+	// own protocol state diverges from what it disseminates.
+	GroupA types.Set
+
+	hook hookEnv
+	prev sim.Message
+}
+
+var _ sim.Node = (*EquivocateNode)(nil)
+var _ sim.Unwrapper = (*EquivocateNode)(nil)
+
+// Init implements sim.Node.
+func (q *EquivocateNode) Init(env sim.Env) {
+	q.hook.owner = q
+	q.hook.run(env, q.Inner.Init)
+}
+
+// Receive implements sim.Node.
+func (q *EquivocateNode) Receive(env sim.Env, from types.ProcessID, msg sim.Message) {
+	q.hook.owner = q
+	q.hook.run(env, func(e sim.Env) { q.Inner.Receive(e, from, msg) })
+}
+
+func (q *EquivocateNode) hookSend(env sim.Env, to types.ProcessID, msg sim.Message) {
+	env.Send(to, msg)
+}
+
+func (q *EquivocateNode) hookBroadcast(env sim.Env, msg sim.Message) {
+	n := env.N()
+	for i := 0; i < n; i++ {
+		to := types.ProcessID(i)
+		if q.GroupA.Contains(to) {
+			env.Send(to, msg)
+		} else if q.prev != nil {
+			env.Send(to, q.prev)
+		}
+	}
+	q.prev = msg
+}
+
+// Unwrap implements sim.Unwrapper.
+func (q *EquivocateNode) Unwrap() sim.Node { return q.Inner }
+
+// NodeFault constructors. ----------------------------------------------------
+
+// Crash fail-stops process p at the given virtual time. The process is
+// faulty: it falls silent mid-protocol.
+func Crash(p types.ProcessID, at sim.VirtualTime) NodeFault {
+	return NodeFault{P: p, Correct: false, Wrap: func(inner sim.Node) sim.Node {
+		return &sim.CrashNode{Inner: inner, CrashAt: at}
+	}}
+}
+
+// Mute replaces process p with a node that never sends anything.
+func Mute(p types.ProcessID) NodeFault {
+	return NodeFault{P: p, Correct: false, Wrap: func(sim.Node) sim.Node {
+		return sim.MuteNode{}
+	}}
+}
+
+// Churn takes process p down over [crashAt, recoverAt). With buffer true
+// the outage only delays deliveries — the process is indistinguishable
+// from a correct one with slow inbound links, and counts as correct; with
+// buffer false the outage loses messages and the process is faulty.
+func Churn(p types.ProcessID, crashAt, recoverAt sim.VirtualTime, buffer bool) NodeFault {
+	return NodeFault{P: p, Correct: buffer, Wrap: func(inner sim.Node) sim.Node {
+		return &sim.ChurnNode{Inner: inner, CrashAt: crashAt, RecoverAt: recoverAt, Buffer: buffer}
+	}}
+}
+
+// Selective makes process p send only to the allowed set (Byzantine).
+func Selective(p types.ProcessID, allow types.Set) NodeFault {
+	return NodeFault{P: p, Correct: false, Wrap: func(inner sim.Node) sim.Node {
+		return &SelectiveNode{Inner: inner, Allow: allow}
+	}}
+}
+
+// StaleReplay makes process p re-broadcast its oldest recorded broadcast
+// after every every-th new one (Byzantine: classified faulty even though
+// the replays carry only genuine messages).
+func StaleReplay(p types.ProcessID, every int) NodeFault {
+	return NodeFault{P: p, Correct: false, Wrap: func(inner sim.Node) sim.Node {
+		return &StaleReplayNode{Inner: inner, Every: every}
+	}}
+}
+
+// Equivocate makes process p broadcast genuinely to groupA and replay its
+// previous broadcast to everyone else (Byzantine).
+func Equivocate(p types.ProcessID, groupA types.Set) NodeFault {
+	return NodeFault{P: p, Correct: false, Wrap: func(inner sim.Node) sim.Node {
+		return &EquivocateNode{Inner: inner, GroupA: groupA}
+	}}
+}

@@ -1,0 +1,297 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// tag is the test message: Seq distinguishes successive broadcasts.
+type tag struct {
+	Seq int
+}
+
+// chatty broadcasts Rounds tagged messages: one from Init, then one more
+// per self-delivery (self-sends travel through the network, so the chain
+// is Rounds broadcasts long).
+type chatty struct {
+	Rounds int
+	sent   int
+}
+
+func (c *chatty) Init(e sim.Env) {
+	c.sent = 1
+	e.Broadcast(tag{Seq: 1})
+}
+
+func (c *chatty) Receive(e sim.Env, from types.ProcessID, msg sim.Message) {
+	if from != e.Self() {
+		return
+	}
+	if c.sent < c.Rounds {
+		c.sent++
+		e.Broadcast(tag{Seq: c.sent})
+	}
+}
+
+// recorder records every delivery.
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) Init(sim.Env) {}
+
+func (r *recorder) Receive(_ sim.Env, from types.ProcessID, msg sim.Message) {
+	r.got = append(r.got, fmt.Sprintf("%d:%v", int(from), msg))
+}
+
+func TestWindowActive(t *testing.T) {
+	w := Window{From: 10, Until: 20}
+	for _, tc := range []struct {
+		at   sim.VirtualTime
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := w.Active(tc.at); got != tc.want {
+			t.Errorf("Active(%d) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	always := Window{}
+	if !always.Active(0) || !always.Active(1<<40) {
+		t.Error("zero window must be always active")
+	}
+	open := Window{From: 5}
+	if open.Active(4) || !open.Active(1<<40) {
+		t.Error("Until <= 0 must mean forever")
+	}
+}
+
+func TestLinksSelectors(t *testing.T) {
+	n := 4
+	a := types.NewSetOf(n, 0, 1)
+	b := types.NewSetOf(n, 2, 3)
+	between := Between(a, b)
+	for _, tc := range []struct {
+		from, to types.ProcessID
+		want     bool
+	}{
+		{0, 2, true}, {2, 0, true}, {0, 1, false}, {2, 3, false},
+		{0, 0, false}, {2, 2, false}, // self-delivery is intra-side
+	} {
+		if got := between(tc.from, tc.to); got != tc.want {
+			t.Errorf("Between(%v,%v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	if !FromSet(a)(0, 3) || FromSet(a)(3, 0) {
+		t.Error("FromSet must match on sender only")
+	}
+	if !ToSet(b)(0, 3) || ToSet(b)(3, 0) {
+		t.Error("ToSet must match on receiver only")
+	}
+}
+
+func TestPlaneOnSendComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Scenario{Rules: []Rule{
+		{Window: Window{From: 100, Until: 200}, HoldUntil: 200},
+		{Duplicate: 1},
+		{Delay: Jitter{Min: 3, Max: 3}},
+	}}
+	pl := s.FaultPlane()
+
+	// Outside the first rule's window only the unconditional rules apply.
+	v := pl.OnSend(0, 1, tag{}, 50, rng)
+	if v.Drop || v.Duplicates != 1 || v.Extra != 3 {
+		t.Fatalf("t=50: got %+v, want dup=1 extra=3", v)
+	}
+	// Inside the window the hold dominates the jitter: extra >= heal - now.
+	v = pl.OnSend(0, 1, tag{}, 150, rng)
+	if v.Extra != 50 || v.Duplicates != 1 {
+		t.Fatalf("t=150: got %+v, want extra=50 (hold 200-150)", v)
+	}
+	// At t=199 the hold (1) is below the jitter (3): jitter wins.
+	v = pl.OnSend(0, 1, tag{}, 199, rng)
+	if v.Extra != 3 {
+		t.Fatalf("t=199: got extra=%d, want 3", v.Extra)
+	}
+}
+
+func TestPlaneDropShortCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Scenario{Rules: []Rule{
+		{Drop: 1},
+		{Duplicate: 1},
+	}}
+	v := s.FaultPlane().OnSend(0, 1, tag{}, 0, rng)
+	if !v.Drop || v.Duplicates != 0 {
+		t.Fatalf("got %+v, want pure drop (later rules not consulted)", v)
+	}
+}
+
+func TestPlaneOnDeliver(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Scenario{Rules: []Rule{
+		{Links: FromSet(types.NewSetOf(2, 0)), Redeliver: 1, RedeliverDelay: Jitter{Min: 7, Max: 7}},
+	}}
+	pl := s.FaultPlane()
+	v := pl.OnDeliver(0, 1, tag{}, 10, rng)
+	if !v.Redeliver || v.After != 7 {
+		t.Fatalf("got %+v, want redeliver after 7", v)
+	}
+	if v := pl.OnDeliver(1, 0, tag{}, 10, rng); v.Redeliver {
+		t.Fatalf("unmatched link must not redeliver: %+v", v)
+	}
+}
+
+func TestEmptyScenarioHasNilPlane(t *testing.T) {
+	s := Scenario{}
+	if s.FaultPlane() != nil {
+		t.Fatal("no rules must compile to a nil FaultPlane (unhooked hot path)")
+	}
+}
+
+// runWrapped executes a 4-process cluster where node 0 is `wrapped` around
+// a chatty sender and nodes 1..3 record, returning the recorders.
+func runWrapped(t *testing.T, wrap func(sim.Node) sim.Node, rounds int) []*recorder {
+	t.Helper()
+	n := 4
+	recs := make([]*recorder, n)
+	nodes := make([]sim.Node, n)
+	for i := 1; i < n; i++ {
+		recs[i] = &recorder{}
+		nodes[i] = recs[i]
+	}
+	nodes[0] = wrap(&chatty{Rounds: rounds})
+	r := sim.NewRunner(sim.Config{N: n, Seed: 1}, nodes)
+	r.Run(0)
+	return recs
+}
+
+func TestSelectiveNode(t *testing.T) {
+	allow := types.NewSetOf(4, 0, 1, 2) // exclude 3
+	recs := runWrapped(t, func(inner sim.Node) sim.Node {
+		return &SelectiveNode{Inner: inner, Allow: allow}
+	}, 3)
+	if len(recs[1].got) != 3 || len(recs[2].got) != 3 {
+		t.Fatalf("allowed receivers got %d/%d messages, want 3/3", len(recs[1].got), len(recs[2].got))
+	}
+	if len(recs[3].got) != 0 {
+		t.Fatalf("excluded receiver got %d messages, want 0", len(recs[3].got))
+	}
+}
+
+func TestStaleReplayNode(t *testing.T) {
+	recs := runWrapped(t, func(inner sim.Node) sim.Node {
+		return &StaleReplayNode{Inner: inner, Every: 1}
+	}, 3)
+	// Broadcast chain: {1}, {2}+replay{1}, {3}+replay{1}. Each receiver
+	// sees 5 messages, three genuine and two replays of the first.
+	for i := 1; i <= 3; i++ {
+		replays := 0
+		for _, g := range recs[i].got {
+			if g == "0:{1}" {
+				replays++
+			}
+		}
+		if len(recs[i].got) != 5 || replays != 3 {
+			t.Fatalf("receiver %d: got %v, want 5 messages with {1} thrice", i, recs[i].got)
+		}
+	}
+}
+
+func TestEquivocateNode(t *testing.T) {
+	groupA := types.NewSetOf(4, 0, 1) // 2 and 3 get the stale stream
+	recs := runWrapped(t, func(inner sim.Node) sim.Node {
+		return &EquivocateNode{Inner: inner, GroupA: groupA}
+	}, 3)
+	want := map[int][]string{
+		1: {"0:{1}", "0:{2}", "0:{3}"}, // genuine stream
+		2: {"0:{1}", "0:{2}"},          // one broadcast behind
+		3: {"0:{1}", "0:{2}"},
+	}
+	for i, w := range want {
+		if fmt.Sprint(recs[i].got) != fmt.Sprint(w) {
+			t.Fatalf("receiver %d: got %v, want %v", i, recs[i].got, w)
+		}
+	}
+}
+
+func TestWrapNodeAndUnwrap(t *testing.T) {
+	inner := &chatty{Rounds: 1}
+	s := Scenario{Faults: []NodeFault{
+		Churn(0, 10, 20, true),
+		StaleReplay(0, 2),
+	}}
+	wrapped := s.WrapNode(0, inner)
+	if wrapped == sim.Node(inner) {
+		t.Fatal("node 0 must be wrapped")
+	}
+	if got := sim.Unwrap(wrapped); got != sim.Node(inner) {
+		t.Fatalf("Unwrap must peel every wrapper: got %T", got)
+	}
+	if s.WrapNode(1, inner) != sim.Node(inner) {
+		t.Fatal("unfaulted process must be returned as-is")
+	}
+}
+
+func TestFaultySetAndTouchedSet(t *testing.T) {
+	s := Scenario{Faults: []NodeFault{
+		Churn(0, 10, 20, true),  // correct
+		Churn(1, 10, 20, false), // faulty
+		Mute(2),                 // faulty
+	}}
+	if got := s.FaultySet(4); !got.Equal(types.NewSetOf(4, 1, 2)) {
+		t.Fatalf("FaultySet = %v, want {2, 3}", got)
+	}
+	if got := s.TouchedSet(4); !got.Equal(types.NewSetOf(4, 0, 1, 2)) {
+		t.Fatalf("TouchedSet = %v, want {1, 2, 3}", got)
+	}
+}
+
+func TestBuiltinsRegistry(t *testing.T) {
+	defs := Builtins()
+	if len(defs) < 5 {
+		t.Fatalf("need >= 5 built-in scenarios, have %d", len(defs))
+	}
+	seen := map[string]bool{}
+	for _, d := range defs {
+		if d.Name == "" || d.Build == nil {
+			t.Fatalf("definition %+v incomplete", d)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate scenario name %q", d.Name)
+		}
+		seen[d.Name] = true
+		sc := d.Build(4, 3)
+		if sc.Name != d.Name {
+			t.Errorf("Build(%q).Name = %q", d.Name, sc.Name)
+		}
+		if len(sc.Properties) == 0 {
+			t.Errorf("scenario %q declares no properties", d.Name)
+		}
+	}
+	for _, required := range []string{"baseline", "partition-heal", "crash-recover", "dup-reorder", "equivocate"} {
+		if _, ok := Find(required); !ok {
+			t.Errorf("required built-in %q missing", required)
+		}
+	}
+	if _, ok := Find("no-such-scenario"); ok {
+		t.Error("Find must report unknown names")
+	}
+	if len(Names()) != len(defs) {
+		t.Error("Names() must cover every definition")
+	}
+}
+
+func TestPropertyString(t *testing.T) {
+	for p, want := range map[Property]string{
+		TotalOrder: "total-order", Agreement: "agreement", Integrity: "integrity",
+		Validity: "validity", Liveness: "liveness", Property(99): "Property(99)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Property(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

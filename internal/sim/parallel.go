@@ -129,7 +129,15 @@ func (r *Runner) stepBatch() int {
 	r.now = t
 	r.batch = r.batch[:0]
 	for r.queue.Len() > 0 && r.queue.head().at == t {
-		r.batch = append(r.batch, r.queue.pop())
+		ev := r.queue.pop()
+		if r.cfg.Fault != nil {
+			// The delivery hook runs at the drain point, on the driving
+			// goroutine, in pop order — the same deterministic commit
+			// discipline as serial Step. A redelivered copy lands at a
+			// strictly later timestamp, so it never joins this batch.
+			r.maybeRedeliver(&ev)
+		}
+		r.batch = append(r.batch, ev)
 	}
 	n := len(r.batch)
 	r.metrics.MessagesDelivered += n

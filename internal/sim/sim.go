@@ -36,6 +36,24 @@
 // their timestamps back to serial delivery (see parallel.go for the full
 // contract). Serial mode (DeliveryWorkers == 0) remains the default.
 //
+// # Fault injection
+//
+// Config.Fault installs a FaultPlane: an adversarial message-fault layer
+// consulted at exactly two single-threaded commit points — OnSend when a
+// message's delivery is scheduled (after DropFilter, per destination in
+// ascending order) and OnDeliver when a delivery is popped from the
+// queue. Both hooks run on the driving goroutine with the run's one
+// seeded RNG, even under parallel delivery (buffered sends are committed
+// in receiver-ID order, redelivery is decided at the pop), so every
+// fault decision — drop, duplicate, extra delay, hold-until, redeliver —
+// is a pure function of the seed and byte-identical across
+// DeliveryWorkers counts. Node-level faults compose separately as
+// wrappers (CrashNode, MuteNode, ChurnNode, and the Byzantine wrappers
+// in internal/scenario); wrappers implementing Unwrapper keep the inner
+// protocol node observable to result collectors. internal/scenario
+// compiles declarative scenario rules into a FaultPlane and bundles them
+// with the Definition 4.1 properties each scenario must preserve.
+//
 // # Sweep determinism contract
 //
 // Executions with different seeds are independent, and Sweep (sweep.go)
@@ -187,7 +205,74 @@ func (f FavoredLinksLatency) Delay(from, to types.ProcessID, _ Message, _ Virtua
 // Dropping models faulty links or partitioned/fail-stop behaviour. Correct-
 // process links in the paper are reliable, so filters should only affect
 // faulty processes.
+//
+// Pinned semantics (scenario drop rules rely on these; regression-tested):
+//
+//   - The filter is consulted for every (from, to) pair, INCLUDING
+//     self-delivery (from == to). Self-sends travel through the network
+//     like any other message, so a filter that should spare a process's
+//     own loopback must allow from == to explicitly.
+//   - Broadcast is filtered per destination, in ascending destination
+//     order, exactly as n individual Sends would be: the broadcast
+//     fast-path only pools the type/size bookkeeping, never the filter,
+//     latency or sequence-number decisions.
+//   - A filtered message counts only as MessagesDropped — never towards
+//     MessagesSent, BytesSent or ByType — and is never seen by the
+//     FaultPlane (the filter runs first).
 type DropFilter func(from, to types.ProcessID, msg Message) bool
+
+// Fault plane. -------------------------------------------------------------
+
+// FaultPlane is the scenario hook into the simulator's two deterministic
+// commit points. Both callbacks run on the goroutine driving the run —
+// OnSend at the send-commit point (where latency draws and sequence
+// numbers are assigned; in parallel-delivery mode this is the
+// single-threaded effect commit), OnDeliver at the queue-pop point — so a
+// fault plane may use the run's seeded RNG freely and the observable
+// execution stays a pure function of the seed for every DeliveryWorkers
+// count. Implementations must be deterministic: no time, no I/O, no
+// private unseeded randomness.
+//
+// Call order per message: DropFilter first (a filtered message never
+// reaches the plane), then OnSend once per (from, to) destination —
+// including self-delivery and each destination of a broadcast fan-out, in
+// ascending destination order — then OnDeliver when the (possibly
+// duplicated, delayed) event is popped for delivery.
+type FaultPlane interface {
+	// OnSend rules on one outbound message at the send-commit point.
+	OnSend(from, to types.ProcessID, msg Message, now VirtualTime, rng *rand.Rand) SendVerdict
+	// OnDeliver rules on one delivery at the queue-pop point; it can
+	// schedule an extra delivery of the same message (duplication after
+	// the first processing — the redelivery-idempotence fault).
+	OnDeliver(from, to types.ProcessID, msg Message, now VirtualTime, rng *rand.Rand) DeliverVerdict
+}
+
+// SendVerdict is a FaultPlane's decision about one outbound message.
+type SendVerdict struct {
+	// Drop discards the message; it counts only as MessagesDropped
+	// (exactly like a DropFilter drop).
+	Drop bool
+	// Extra is added on top of the latency model's own draw (negative
+	// values are clamped to 0). Partitions that heal are expressed as
+	// Extra >= healTime - now: the message exists but arrives after the
+	// heal, like a retransmitting transport.
+	Extra VirtualTime
+	// Duplicates enqueues that many extra copies of the message, each
+	// with its own latency draw (plus the same Extra). Every copy counts
+	// as a sent message in the metrics.
+	Duplicates int
+}
+
+// DeliverVerdict is a FaultPlane's decision about one delivery.
+type DeliverVerdict struct {
+	// Redeliver schedules one additional delivery of the same message
+	// After time units from now (clamped to >= 1 so the copy lands in a
+	// strictly later timestamp). The copy is consulted again on its own
+	// delivery, so a redelivery probability must stay < 1 for the
+	// cascade to terminate.
+	Redeliver bool
+	After     VirtualTime
+}
 
 // Config configures a Runner.
 type Config struct {
@@ -195,6 +280,12 @@ type Config struct {
 	Latency LatencyModel // defaults to ConstantLatency(1)
 	Seed    int64
 	Filter  DropFilter // optional; nil delivers everything
+
+	// Fault, when non-nil, is the scenario fault plane: it is consulted
+	// once per (from, to) message at the send-commit point and once per
+	// delivery at the pop point (see FaultPlane for the exact contract).
+	// The no-fault hot path pays only a nil check.
+	Fault FaultPlane
 
 	// DeliveryWorkers opts into parallel same-time delivery: when > 0,
 	// Run/RunUntil deliver all frontier events that share a virtual
@@ -402,12 +493,30 @@ func (r *Runner) dropped(from, to types.ProcessID, msg Message) bool {
 
 // sendOne records the sent-message metrics (against the caller-resolved
 // type counter and size) and enqueues the delivery. Both unicast and
-// broadcast fan-out land here, so the accounting rules live in one place.
+// broadcast fan-out land here, so the accounting rules — and the fault
+// plane's send-commit hook — live in one place.
 func (r *Runner) sendOne(from, to types.ProcessID, msg Message, tc *typeCounter, size int) {
+	var extra VirtualTime
+	if r.cfg.Fault != nil {
+		v := r.cfg.Fault.OnSend(from, to, msg, r.now, r.rng)
+		if v.Drop {
+			r.metrics.MessagesDropped++
+			return
+		}
+		if v.Extra > 0 {
+			extra = v.Extra
+		}
+		for i := 0; i < v.Duplicates; i++ {
+			r.metrics.MessagesSent++
+			tc.count++
+			r.metrics.BytesSent += size
+			r.enqueue(from, to, msg, extra)
+		}
+	}
 	r.metrics.MessagesSent++
 	tc.count++
 	r.metrics.BytesSent += size
-	r.enqueue(from, to, msg)
+	r.enqueue(from, to, msg, extra)
 }
 
 func (r *Runner) send(from, to types.ProcessID, msg Message) {
@@ -440,14 +549,33 @@ func (r *Runner) broadcast(from types.ProcessID, msg Message) {
 	}
 }
 
-// enqueue draws the link delay and pushes the delivery event.
-func (r *Runner) enqueue(from, to types.ProcessID, msg Message) {
+// enqueue draws the link delay, adds the fault plane's extra delay, and
+// pushes the delivery event.
+func (r *Runner) enqueue(from, to types.ProcessID, msg Message, extra VirtualTime) {
 	d := r.cfg.Latency.Delay(from, to, msg, r.now, r.rng)
 	if d < 0 {
 		d = 0
 	}
 	r.seq++
-	r.queue.push(event{at: r.now + d, seq: r.seq, to: to, from: from, msg: msg})
+	r.queue.push(event{at: r.now + d + extra, seq: r.seq, to: to, from: from, msg: msg})
+}
+
+// maybeRedeliver consults the fault plane's delivery hook for a popped
+// event and schedules the extra copy it asks for. Runs on the driving
+// goroutine with r.now already advanced to the event's timestamp; the copy
+// lands at least one time unit later, so a drain loop over the current
+// timestamp always terminates.
+func (r *Runner) maybeRedeliver(e *event) {
+	v := r.cfg.Fault.OnDeliver(e.from, e.to, e.msg, r.now, r.rng)
+	if !v.Redeliver {
+		return
+	}
+	after := v.After
+	if after < 1 {
+		after = 1
+	}
+	r.seq++
+	r.queue.push(event{at: r.now + after, seq: r.seq, to: e.to, from: e.from, msg: e.msg})
 }
 
 // init calls Init on every node (in ID order) exactly once.
@@ -473,6 +601,9 @@ func (r *Runner) Step() bool {
 	e := r.queue.pop()
 	r.now = e.at
 	r.metrics.MessagesDelivered++
+	if r.cfg.Fault != nil {
+		r.maybeRedeliver(&e)
+	}
 	r.nodes[e.to].Receive(&r.envs[e.to], e.from, e.msg)
 	return true
 }
@@ -615,6 +746,144 @@ func (c *CrashNode) Receive(e Env, from types.ProcessID, msg Message) {
 
 // Crashed reports whether the node has fail-stopped.
 func (c *CrashNode) Crashed() bool { return c.crashed }
+
+// Unwrap implements Unwrapper.
+func (c *CrashNode) Unwrap() Node { return c.Inner }
+
+// ChurnNode extends CrashNode with crash-recover churn: the process is
+// down in the half-open window [CrashAt, RecoverAt) and participates
+// normally outside it. Recovery semantics are declared up front:
+//
+//   - Buffer == true: messages arriving while down are buffered and
+//     replayed, in arrival order, before the first post-recovery message.
+//     The node is then indistinguishable from a correct process all of
+//     whose inbound links were slow during the outage — an asynchronous
+//     execution — so every safety AND liveness property of a correct
+//     process must still hold at it.
+//   - Buffer == false: messages arriving while down are lost. The node is
+//     genuinely faulty (its state may be permanently behind), and
+//     property checks must count it in the faulty set.
+//
+// CrashAt must be > 0 (a node down from time 0 is a CrashNode or a
+// MuteNode); RecoverAt <= CrashAt degenerates to a plain crash.
+//
+// Recovery is self-triggering: at Init the node starts a self-addressed
+// tick loop (churnTick messages through the ordinary network path) that
+// it keeps alive until the first delivery at or after RecoverAt. Without
+// it a cluster whose quorums need the churned process can quiesce during
+// the outage — the buffered messages sit inside the wrapper, not the
+// event queue, so nothing would ever arrive to trigger the replay and
+// the run would deadlock short of RecoverAt. The ticks travel the
+// network like any message (latency model, filters, fault plane,
+// metrics), so they stay deterministic per seed.
+type ChurnNode struct {
+	Inner     Node
+	CrashAt   VirtualTime
+	RecoverAt VirtualTime
+	Buffer    bool
+
+	recovered bool
+	buf       []bufferedDelivery
+}
+
+type bufferedDelivery struct {
+	from types.ProcessID
+	msg  Message
+}
+
+var _ Node = (*ChurnNode)(nil)
+
+// churnTick is ChurnNode's self-addressed wake-up message (see the type
+// comment); it never reaches the inner node.
+type churnTick struct{}
+
+// Init implements Node. Init runs at virtual time 0, before the crash
+// window can open (CrashAt must be > 0), so it always reaches the inner
+// node.
+func (c *ChurnNode) Init(e Env) {
+	if c.CrashAt <= 0 {
+		panic("sim: ChurnNode.CrashAt must be > 0 (use CrashNode or MuteNode for a node that never runs)")
+	}
+	c.Inner.Init(e)
+	if c.RecoverAt > c.CrashAt {
+		e.Send(e.Self(), churnTick{})
+	}
+}
+
+// Receive implements Node. The down window is [CrashAt, RecoverAt) — an
+// arrival exactly at CrashAt is already down (matching CrashNode's
+// boundary), an arrival exactly at RecoverAt is processed.
+func (c *ChurnNode) Receive(e Env, from types.ProcessID, msg Message) {
+	now := e.Now()
+	if _, ok := msg.(churnTick); ok {
+		if c.recovered {
+			return // a regular delivery already triggered recovery
+		}
+		if now >= c.RecoverAt {
+			c.recover(e)
+			return
+		}
+		e.Send(e.Self(), churnTick{})
+		return
+	}
+	if now >= c.RecoverAt || c.recovered {
+		if !c.recovered {
+			c.recover(e)
+		}
+		c.Inner.Receive(e, from, msg)
+		return
+	}
+	if now >= c.CrashAt {
+		if c.Buffer {
+			c.buf = append(c.buf, bufferedDelivery{from: from, msg: msg})
+		}
+		return
+	}
+	c.Inner.Receive(e, from, msg)
+}
+
+// recover marks the node up again and replays the buffered outage
+// deliveries in arrival order.
+func (c *ChurnNode) recover(e Env) {
+	c.recovered = true
+	for i := range c.buf {
+		c.Inner.Receive(e, c.buf[i].from, c.buf[i].msg)
+		c.buf[i] = bufferedDelivery{}
+	}
+	c.buf = nil
+}
+
+// Down reports whether the node is inside its down window at time t.
+func (c *ChurnNode) Down(t VirtualTime) bool {
+	return t >= c.CrashAt && t < c.RecoverAt && !c.recovered
+}
+
+// Recovered reports whether the node has processed its recovery (it only
+// flips on the first delivery at or after RecoverAt).
+func (c *ChurnNode) Recovered() bool { return c.recovered }
+
+// Unwrap implements Unwrapper.
+func (c *ChurnNode) Unwrap() Node { return c.Inner }
+
+// Unwrapper is implemented by fault wrappers (CrashNode, ChurnNode, the
+// scenario package's Byzantine wrappers) that delegate to an inner
+// protocol node. Result collectors unwrap through it so a wrapped node's
+// observable protocol state is still reported.
+type Unwrapper interface {
+	Unwrap() Node
+}
+
+// Unwrap peels every fault wrapper off a node and returns the innermost
+// protocol node.
+func Unwrap(n Node) Node {
+	for {
+		u, ok := n.(Unwrapper)
+		if !ok {
+			return n
+		}
+		n = u.Unwrap()
+	}
+}
 
 // MuteNode is a Byzantine node that participates in nothing: it never
 // sends a message. It is the simplest adversary that still exercises the
