@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench benchcmp search scenarios clean
+.PHONY: all build test vet bench benchcmp transportbench search scenarios clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -33,10 +33,18 @@ vet:
 
 # Full benchmark sweep with allocation stats; the human-readable summary
 # goes to stdout while the structured stream is preserved for tooling.
+# The transport package rides along so the loopback-cluster throughput
+# numbers (msgs/s, bytes/s at n=50) are part of the recorded trajectory.
 bench:
-	$(GO) test -json -run='^$$' -bench=. -benchmem -count=1 . > $(BENCH_OUT)
+	$(GO) test -json -run='^$$' -bench=. -benchmem -count=1 . ./internal/transport > $(BENCH_OUT)
 	@grep -o '"Output":".*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//g' | grep '^Benchmark' || true
 	@echo "wrote $(BENCH_OUT)"
+
+# Transport-focused gate: the wire codec and framing/backpressure test
+# suites under the race detector, then the n=50 loopback mesh benchmark.
+transportbench:
+	$(GO) test -race -count=1 ./internal/wire ./internal/transport
+	$(GO) test -run='^$$' -bench=BenchmarkLoopbackCluster -benchmem -count=1 ./internal/transport
 
 # Diff two bench recordings; fails on >15% ns/op, allocs/op or B/op
 # regressions. By default the two newest BENCH_*.json are compared;

@@ -331,8 +331,20 @@ type (
 
 	// TCPHost runs one protocol node over real TCP connections.
 	TCPHost = transport.Host
+	// TCPHostConfig configures a single TCPHost (listen address, bounded
+	// outbox limit, frame compression).
+	TCPHostConfig = transport.HostConfig
 	// TCPCluster is a fully wired loopback mesh of TCPHosts.
 	TCPCluster = transport.LocalCluster
+	// TCPClusterConfig configures a TCPCluster (seed, per-peer outbox
+	// bound, flate compression of batch frames).
+	TCPClusterConfig = transport.LocalClusterConfig
+	// TCPStats aggregates a host's (or cluster's) wire traffic counters:
+	// frames, messages and bytes sent, write/encode errors, re-queued
+	// envelopes, and received totals.
+	TCPStats = transport.HostStats
+	// TCPPeerStats is the per-peer-link slice of TCPStats.
+	TCPPeerStats = transport.PeerStats
 )
 
 // NewConsensusNode creates an asymmetric-consensus process.
@@ -344,9 +356,19 @@ func NewTCPCluster(nodes []FaultBehavior, seed int64) (*TCPCluster, error) {
 	return transport.NewLocalCluster(nodes, seed)
 }
 
+// NewTCPClusterConfig is NewTCPCluster with the transport knobs exposed:
+// per-peer outbox bound (backpressure) and flate frame compression.
+func NewTCPClusterConfig(nodes []FaultBehavior, cfg TCPClusterConfig) (*TCPCluster, error) {
+	return transport.NewLocalClusterConfig(nodes, cfg)
+}
+
 // NewTCPHost creates a single TCP host for distributed deployments: wire
 // peers with Connect, then Start.
 func NewTCPHost(self ProcessID, n int, node FaultBehavior, addr string, seed int64) (*TCPHost, error) {
-	transport.RegisterAllWire()
 	return transport.NewHost(self, n, node, addr, seed)
+}
+
+// NewTCPHostConfig is NewTCPHost with the transport knobs exposed.
+func NewTCPHostConfig(cfg TCPHostConfig) (*TCPHost, error) {
+	return transport.NewHostConfig(cfg)
 }

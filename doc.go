@@ -87,6 +87,21 @@
 //     conformance sweeps (SweepScenarios, with first-failing (scenario,
 //     seed) attribution), the `scenarios` experiment, and
 //     examples/faulttolerance.
+//   - A shared framed binary wire codec (internal/wire) and a production
+//     TCP transport (internal/transport): every protocol message type
+//     registers a tagged exact-size codec built on uvarints, length-
+//     prefixed strings and the raw bitset words types.Set already
+//     carries, so the simulator's byte metrics (sim.MessageSize) and the
+//     bytes a real deployment sends are equal by construction. The
+//     transport drains bounded per-peer outboxes into batched length-
+//     prefixed frames (one write syscall per drain, optional flate
+//     compression); a full outbox blocks the sending node loop — explicit
+//     backpressure, never drops or unbounded growth — connections are
+//     validated and deduplicated keep-first at registration, and a failed
+//     write re-queues the unsent tail so a reconnect resumes the stream
+//     without loss. Per-peer counters surface frames/messages/bytes and
+//     error/re-queue counts; `make transportbench` runs the race-checked
+//     suite plus the 50-node loopback mesh benchmark (msgs/s, bytes/s).
 //
 // # Quickstart
 //

@@ -83,4 +83,12 @@ func main() {
 	for i := 0; i < len(reference) && i < 6; i++ {
 		fmt.Printf("%3d. %s\n", i+1, reference[i])
 	}
+
+	// Wire traffic from the transport's per-peer counters: binary frames,
+	// batched writes — the bytes here are exactly what sim.MessageSize
+	// models for the same messages.
+	stats := cluster.Stats()
+	fmt.Printf("\nwire traffic: %d msgs in %d frames (%.1f msgs/frame), %d bytes sent\n",
+		stats.MessagesSent, stats.FramesSent,
+		float64(stats.MessagesSent)/float64(max(stats.FramesSent, 1)), stats.BytesSent)
 }

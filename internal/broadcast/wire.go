@@ -1,0 +1,110 @@
+// Binary wire codec registration for the broadcast messages (see
+// internal/wire for the frame layout and tag-range assignments).
+//
+// The SEND/ECHO/READY bodies are [uvarint slot.Src][uvarint slot.Seq]
+// followed by the payload as a nested wire frame, so any wire-registered
+// Payload implementation (Bytes here, rider.VertexPayload, ...) travels
+// without this package knowing about it. A message whose payload type is
+// not wire-registered is simply not encodable: Size reports false and the
+// simulator falls back to the Sizer approximation, which keeps test-local
+// payload types working in pure-simulation runs.
+package broadcast
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Wire tags (range 10–19, assigned in internal/wire's central table).
+const (
+	wireTagSend  = 10
+	wireTagEcho  = 11
+	wireTagReady = 12
+	wireTagBytes = 13
+)
+
+func init() { registerWireCodecs() }
+
+func slotPayloadSize(s Slot, p Payload) (int, bool) {
+	psz, ok := wire.EncodedSize(p)
+	if !ok {
+		return 0, false
+	}
+	return wire.IntSize(int(s.Src)) + wire.UvarintSize(s.Seq) + psz, true
+}
+
+func appendSlotPayload(dst []byte, s Slot, p Payload) ([]byte, error) {
+	dst = wire.AppendInt(dst, int(s.Src))
+	dst = wire.AppendUvarint(dst, s.Seq)
+	return wire.Append(dst, p)
+}
+
+func decodeSlotPayload(b []byte) (Slot, Payload, []byte, error) {
+	src, rest, err := wire.ReadInt(b, wire.MaxUniverse)
+	if err != nil {
+		return Slot{}, nil, b, err
+	}
+	seq, rest, err := wire.ReadUvarint(rest)
+	if err != nil {
+		return Slot{}, nil, b, err
+	}
+	inner, rest, err := wire.Decode(rest)
+	if err != nil {
+		return Slot{}, nil, b, err
+	}
+	p, ok := inner.(Payload)
+	if !ok {
+		return Slot{}, nil, b, fmt.Errorf("broadcast: wire payload %T does not implement Payload", inner)
+	}
+	return Slot{Src: types.ProcessID(src), Seq: seq}, p, rest, nil
+}
+
+// registerSlotMsg registers one of the three structurally identical
+// broadcast messages.
+func registerSlotMsg(tag uint64, prototype any,
+	get func(any) (Slot, Payload), build func(Slot, Payload) any) {
+	wire.Register(tag, prototype, wire.Codec{
+		Size: func(msg any) (int, bool) {
+			s, p := get(msg)
+			return slotPayloadSize(s, p)
+		},
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			s, p := get(msg)
+			return appendSlotPayload(dst, s, p)
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			s, p, rest, err := decodeSlotPayload(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return build(s, p), rest, nil
+		},
+	})
+}
+
+func registerWireCodecs() {
+	registerSlotMsg(wireTagSend, sendMsg{},
+		func(m any) (Slot, Payload) { s := m.(sendMsg); return s.Slot, s.Payload },
+		func(s Slot, p Payload) any { return sendMsg{Slot: s, Payload: p} })
+	registerSlotMsg(wireTagEcho, echoMsg{},
+		func(m any) (Slot, Payload) { s := m.(echoMsg); return s.Slot, s.Payload },
+		func(s Slot, p Payload) any { return echoMsg{Slot: s, Payload: p} })
+	registerSlotMsg(wireTagReady, readyMsg{},
+		func(m any) (Slot, Payload) { s := m.(readyMsg); return s.Slot, s.Payload },
+		func(s Slot, p Payload) any { return readyMsg{Slot: s, Payload: p} })
+	wire.Register(wireTagBytes, Bytes(nil), wire.Codec{
+		Size: func(msg any) (int, bool) { return wire.BytesSize(msg.(Bytes)), true },
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			return wire.AppendBytes(dst, msg.(Bytes)), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			v, rest, err := wire.ReadBytes(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return Bytes(v), rest, nil
+		},
+	})
+}

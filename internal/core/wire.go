@@ -1,0 +1,52 @@
+// Binary wire codec registration for the consensus control messages (see
+// internal/wire for the frame layout and tag-range assignments). The
+// other message types a consensus node puts on the wire — the broadcast
+// SEND/ECHO/READY envelopes, rider.VertexPayload, coin.ShareMsg — are
+// registered by their owning packages.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Wire tags (range 40–44, assigned in internal/wire's central table).
+const (
+	wireTagAck     = 40
+	wireTagReady   = 41
+	wireTagConfirm = 42
+)
+
+// maxWireWave bounds wave numbers accepted off the wire.
+const maxWireWave = 1 << 30
+
+func init() {
+	registerWaveMsg(wireTagAck, ackMsg{},
+		func(m any) int { return m.(ackMsg).Wave },
+		func(w int) any { return ackMsg{Wave: w} })
+	registerWaveMsg(wireTagReady, readyMsg{},
+		func(m any) int { return m.(readyMsg).Wave },
+		func(w int) any { return readyMsg{Wave: w} })
+	registerWaveMsg(wireTagConfirm, confirmMsg{},
+		func(m any) int { return m.(confirmMsg).Wave },
+		func(w int) any { return confirmMsg{Wave: w} })
+}
+
+// registerWaveMsg registers one of the three structurally identical
+// wave-tagged control messages: [uvarint wave].
+func registerWaveMsg(tag uint64, prototype any, get func(any) int, build func(int) any) {
+	wire.Register(tag, prototype, wire.Codec{
+		Size: func(msg any) (int, bool) { return wire.IntSize(get(msg)), true },
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			return wire.AppendInt(dst, get(msg)), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			w, rest, err := wire.ReadInt(b, maxWireWave)
+			if err != nil {
+				return nil, b, fmt.Errorf("core: wire wave: %w", err)
+			}
+			return build(w), rest, nil
+		},
+	})
+}

@@ -1,0 +1,140 @@
+// Binary wire codec registration for the DAG vertex payload (see
+// internal/wire for the frame layout and tag-range assignments).
+//
+// A VertexPayload body is [uvarint source][uvarint round][uvarint #txs +
+// length-prefixed txs][uvarint #strong + refs][uvarint #weak + refs],
+// where a ref is [uvarint source][uvarint round]. Counts and rounds are
+// bounded on decode — vertices arrive from the network, possibly from
+// Byzantine peers.
+package rider
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// wireTagVertex is VertexPayload's tag (range 50–59).
+const wireTagVertex = 50
+
+// maxWireRound bounds round numbers accepted off the wire.
+const maxWireRound = 1 << 30
+
+func init() {
+	wire.Register(wireTagVertex, VertexPayload{}, wire.Codec{
+		Size:   vertexWireSize,
+		Append: appendVertexWire,
+		Decode: decodeVertexWire,
+	})
+}
+
+func refsWireSize(refs []dag.VertexRef) int {
+	sz := wire.IntSize(len(refs))
+	for _, r := range refs {
+		sz += wire.IntSize(int(r.Source)) + wire.IntSize(r.Round)
+	}
+	return sz
+}
+
+func vertexWireSize(msg any) (int, bool) {
+	v := msg.(VertexPayload).V
+	if v == nil {
+		return 0, false // a payload without a vertex is not encodable
+	}
+	sz := wire.IntSize(int(v.Source)) + wire.IntSize(v.Round) + wire.IntSize(len(v.Block))
+	for _, tx := range v.Block {
+		sz += wire.StringSize(tx)
+	}
+	sz += refsWireSize(v.StrongEdges) + refsWireSize(v.WeakEdges)
+	return sz, true
+}
+
+func appendRefsWire(dst []byte, refs []dag.VertexRef) []byte {
+	dst = wire.AppendInt(dst, len(refs))
+	for _, r := range refs {
+		dst = wire.AppendInt(dst, int(r.Source))
+		dst = wire.AppendInt(dst, r.Round)
+	}
+	return dst
+}
+
+func appendVertexWire(dst []byte, msg any) ([]byte, error) {
+	v := msg.(VertexPayload).V
+	if v == nil {
+		return dst, fmt.Errorf("rider: cannot encode VertexPayload with nil vertex")
+	}
+	dst = wire.AppendInt(dst, int(v.Source))
+	dst = wire.AppendInt(dst, v.Round)
+	dst = wire.AppendInt(dst, len(v.Block))
+	for _, tx := range v.Block {
+		dst = wire.AppendString(dst, tx)
+	}
+	dst = appendRefsWire(dst, v.StrongEdges)
+	return appendRefsWire(dst, v.WeakEdges), nil
+}
+
+func decodeRefsWire(b []byte) ([]dag.VertexRef, []byte, error) {
+	count, rest, err := wire.ReadInt(b, wire.MaxCount)
+	if err != nil {
+		return nil, b, err
+	}
+	if count == 0 {
+		return nil, rest, nil
+	}
+	refs := make([]dag.VertexRef, count)
+	for i := range refs {
+		var src, round int
+		src, rest, err = wire.ReadInt(rest, wire.MaxUniverse)
+		if err != nil {
+			return nil, b, err
+		}
+		round, rest, err = wire.ReadInt(rest, maxWireRound)
+		if err != nil {
+			return nil, b, err
+		}
+		refs[i] = dag.VertexRef{Source: types.ProcessID(src), Round: round}
+	}
+	return refs, rest, nil
+}
+
+func decodeVertexWire(b []byte) (any, []byte, error) {
+	src, rest, err := wire.ReadInt(b, wire.MaxUniverse)
+	if err != nil {
+		return nil, b, fmt.Errorf("rider: wire vertex source: %w", err)
+	}
+	round, rest, err := wire.ReadInt(rest, maxWireRound)
+	if err != nil {
+		return nil, b, fmt.Errorf("rider: wire vertex round: %w", err)
+	}
+	txCount, rest, err := wire.ReadInt(rest, wire.MaxCount)
+	if err != nil {
+		return nil, b, fmt.Errorf("rider: wire vertex block: %w", err)
+	}
+	var block []string
+	if txCount > 0 {
+		block = make([]string, txCount)
+		for i := range block {
+			block[i], rest, err = wire.ReadString(rest)
+			if err != nil {
+				return nil, b, fmt.Errorf("rider: wire vertex tx: %w", err)
+			}
+		}
+	}
+	strong, rest, err := decodeRefsWire(rest)
+	if err != nil {
+		return nil, b, fmt.Errorf("rider: wire vertex strong edges: %w", err)
+	}
+	weak, rest, err := decodeRefsWire(rest)
+	if err != nil {
+		return nil, b, fmt.Errorf("rider: wire vertex weak edges: %w", err)
+	}
+	return VertexPayload{V: &dag.Vertex{
+		Source:      types.ProcessID(src),
+		Round:       round,
+		Block:       block,
+		StrongEdges: strong,
+		WeakEdges:   weak,
+	}}, rest, nil
+}

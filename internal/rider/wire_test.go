@@ -1,0 +1,102 @@
+package rider
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func randomRefs(rng *rand.Rand, n int) []dag.VertexRef {
+	if n == 0 {
+		return nil
+	}
+	refs := make([]dag.VertexRef, n)
+	for i := range refs {
+		refs[i] = dag.VertexRef{Source: types.ProcessID(rng.Intn(100)), Round: rng.Intn(1000)}
+	}
+	return refs
+}
+
+// TestVertexWireRoundTrip is the rider slice of the differential wire
+// suite: randomized vertices round-trip byte-identically and the
+// simulator's byte metric equals the real frame length.
+func TestVertexWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 300; i++ {
+		var block []string
+		for k, count := 0, rng.Intn(5); k < count; k++ {
+			block = append(block, fmt.Sprintf("tx-%d-%d", i, k))
+		}
+		v := &dag.Vertex{
+			Source:      types.ProcessID(rng.Intn(100)),
+			Round:       rng.Intn(1000),
+			Block:       block,
+			StrongEdges: randomRefs(rng, rng.Intn(6)),
+			WeakEdges:   randomRefs(rng, rng.Intn(4)),
+		}
+		msg := VertexPayload{V: v}
+		enc, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sim.MessageSize(msg); got != len(enc) {
+			t.Fatalf("MessageSize %d != wire length %d", got, len(enc))
+		}
+		dec, rest, err := wire.Decode(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode: %v", err)
+		}
+		got := dec.(VertexPayload).V
+		if got.Source != v.Source || got.Round != v.Round ||
+			!reflect.DeepEqual(got.Block, v.Block) ||
+			!reflect.DeepEqual(got.StrongEdges, v.StrongEdges) ||
+			!reflect.DeepEqual(got.WeakEdges, v.WeakEdges) {
+			t.Fatalf("vertex round trip mutated:\n%+v\n%+v", got, v)
+		}
+		re, err := wire.Marshal(dec)
+		if err != nil || !bytes.Equal(enc, re) {
+			t.Fatalf("re-encode differs (%v)", err)
+		}
+	}
+}
+
+// TestVertexWireNilNotEncodable pins that a payload without a vertex is
+// not encodable rather than panicking in the writer path.
+func TestVertexWireNilNotEncodable(t *testing.T) {
+	if _, ok := wire.EncodedSize(VertexPayload{}); ok {
+		t.Fatal("nil-vertex payload reported encodable")
+	}
+	if _, err := wire.Marshal(VertexPayload{}); err == nil {
+		t.Fatal("nil-vertex payload marshalled")
+	}
+}
+
+// TestVertexWireRejectsMalformed bounds adversarial vertex bodies.
+func TestVertexWireRejectsMalformed(t *testing.T) {
+	frame := func(body []byte) []byte {
+		return append(wire.AppendUvarint(nil, wireTagVertex), body...)
+	}
+	huge := wire.AppendInt(nil, 1)                       // source
+	huge = wire.AppendInt(huge, 1)                       // round
+	huge = wire.AppendUvarint(huge, wire.MaxCount+1)     // tx count
+	over := wire.AppendInt(nil, 1)                       // source
+	over = wire.AppendUvarint(over, uint64(maxWireRound)+1) // round
+	cases := map[string][]byte{
+		"empty":          frame(nil),
+		"huge tx count":  frame(huge),
+		"round too big":  frame(over),
+		"truncated refs": frame(append(wire.AppendInt(wire.AppendInt(wire.AppendInt(nil, 1), 1), 0), wire.AppendUvarint(nil, 5)...)),
+	}
+	for name, b := range cases {
+		if _, _, err := wire.Decode(b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

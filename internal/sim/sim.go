@@ -74,6 +74,7 @@ import (
 	"reflect"
 
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // VirtualTime is simulated time in abstract units.
@@ -85,15 +86,21 @@ type VirtualTime int64
 type Message any
 
 // Sizer lets a message report an approximate wire size in bytes for the
-// bandwidth metrics. Messages that do not implement it count as size 1.
+// bandwidth metrics. It is the fallback for messages without a binary
+// wire codec (see MessageSize); messages that implement neither count as
+// size 1.
 type Sizer interface {
 	SimSize() int
 }
 
-// MessageSize returns the byte size a message contributes to the metrics:
-// its SimSize if it implements Sizer, else 1. Wrapper messages (e.g. the
-// ACS per-instance envelope) use it to forward the inner payload's size
-// instead of collapsing every wrapped message to 1 byte.
+// MessageSize returns the byte size a message contributes to the metrics.
+// Messages registered with the shared binary codec (internal/wire — every
+// real protocol message is, at package init) report their exact encoded
+// frame length, so simulated BytesSent figures equal the bytes the TCP
+// transport puts on the wire for the same traffic. Unregistered messages
+// fall back to their Sizer approximation, else count as 1 byte. Wrapper
+// messages (e.g. the ACS per-instance envelope) implement Sizer by
+// forwarding the inner payload's MessageSize plus their header.
 func MessageSize(msg Message) int { return msgSize(msg) }
 
 // Typer lets a message choose its own ByType metrics bucket. Messages
@@ -471,8 +478,13 @@ func (r *Runner) typeCounter(msg Message) *typeCounter {
 	return tc
 }
 
-// msgSize returns the byte size a message contributes to the metrics.
+// msgSize returns the byte size a message contributes to the metrics:
+// exact encoded frame length for wire-registered types, Sizer
+// approximation otherwise, 1 as the last resort.
 func msgSize(msg Message) int {
+	if n, ok := wire.EncodedSize(msg); ok {
+		return n
+	}
 	if s, ok := msg.(Sizer); ok {
 		return s.SimSize()
 	}

@@ -3,29 +3,80 @@
 // the deployment path for the library, as opposed to the reproducible
 // research path of internal/sim.
 //
-// Topology: a full mesh. Every node listens on a TCP address and dials
-// every higher-numbered peer (lower-numbered peers dial it), yielding one
-// duplex connection per pair. Frames are gob-encoded envelopes; protocol
-// packages register their message types via their RegisterWire functions
-// (called by RegisterAllWire).
+// # Topology
 //
-// Concurrency model: each node runs exactly one loop goroutine that
-// serializes Init/Receive calls, so the protocol state machines need no
-// locking — the same single-threaded discipline the simulator provides.
-// Per-connection reader goroutines feed the loop; per-peer writer
-// goroutines drain unbounded outboxes (unbounded by design: the protocols
-// assume reliable links and a bounded outbox could deadlock the mesh;
-// real deployments would add flow control above this layer).
+// A full mesh: every node listens on a TCP address and dials every
+// higher-numbered peer (lower-numbered peers dial it), yielding one duplex
+// connection per pair. The dialer's first frame is a hello identifying
+// itself; the acceptor validates it (magic, version, matching cluster
+// size, peer ID in range and not self) before the connection is
+// registered. Registration deduplicates: the first connection for a peer
+// wins, later ones are closed on arrival, and Connect reports the
+// duplicate as an error — so one peer can never have two writers
+// interleaving its FIFO stream.
 //
-// Close tears everything down and waits for every goroutine to exit.
+// # Wire format
+//
+// Frames are length-prefixed binary, not gob: [1-byte type][4-byte
+// big-endian payload length][payload]. A hello payload is [magic u32]
+// [version u8][uvarint from][uvarint n]. A batch payload is a sequence of
+// [uvarint length][message frame] entries, where a message frame is the
+// shared binary codec's [uvarint tag][body] (internal/wire) — the same
+// encoding sim.MessageSize prices, so simulated byte metrics match real
+// wire bytes. Batch payloads are optionally flate-compressed
+// (HostConfig.Compress; frame type distinguishes them). The codec is
+// stateless per frame, so — unlike the old gob stream — a hello can be
+// written directly by the dialer and any writer can resume after a
+// reconnect without stream-state corruption.
+//
+// # Concurrency model
+//
+// Each node runs exactly one loop goroutine that serializes Init/Receive
+// calls, so the protocol state machines need no locking — the same
+// single-threaded discipline the simulator provides. Per-connection
+// reader goroutines decode frames into the loop's inbox; one per-peer
+// writer goroutine drains that peer's outbox into batched frames, one
+// Write syscall per frame regardless of how many messages it carries.
+//
+// # Bounded outboxes and backpressure
+//
+// Per-peer outboxes are bounded (HostConfig.OutboxLimit, default
+// DefaultOutboxLimit). When an outbox is full, Env.Send BLOCKS the node
+// loop until the writer drains — explicit backpressure instead of the old
+// unbounded queue's silent OOM. Messages are never dropped by the bound.
+// The tradeoff is documented honestly: a cycle of nodes all blocked on
+// full outboxes to each other can in principle deadlock (the reliable-
+// links model has no flow control), which is why the default limit is
+// sized far above any per-round protocol burst; deployments that need
+// end-to-end flow control add it above this layer. The self-send queue
+// stays unbounded — the node loop produces and consumes it itself, so any
+// bound there would certainly deadlock.
+//
+// # Reliability accounting
+//
+// A writer that hits a mid-drain write error re-queues the unsent tail of
+// its batch at the front of the outbox (FIFO preserved, the bound is
+// deliberately ignored for re-queues) and unregisters the dead
+// connection, so a subsequent Connect resumes the stream without loss —
+// the reliable-links contract a reconnect path depends on. Per-peer
+// counters (PeerStats) surface frames/messages/bytes written, write
+// errors, encode errors and re-queued envelopes.
+//
+// Close tears everything down, unblocks any sender stuck in backpressure,
+// and waits for every goroutine to exit.
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broadcast"
@@ -33,118 +84,343 @@ import (
 	"repro/internal/gather"
 	"repro/internal/sim"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // RegisterAllWire registers every protocol message type with encoding/gob.
-// Call once before starting a cluster (NewLocalCluster does it for you).
+// The binary codec this transport actually speaks self-registers at
+// package init (internal/wire); this remains for callers that still gob-
+// encode protocol values (e.g. tooling persisting gather.Pairs). Safe to
+// call multiple times.
 func RegisterAllWire() {
 	broadcast.RegisterWire()
 	gather.RegisterWire()
 	core.RegisterWire()
 }
 
-// envelope is the wire frame.
+// Wire framing. ------------------------------------------------------------
+
+const (
+	frameHello byte = 0x01
+	frameBatch byte = 0x02
+	frameFlate byte = 0x03
+
+	wireMagic   uint32 = 0x61447631 // "aDv1"
+	wireVersion byte   = 1
+
+	frameHeaderSize = 5
+	// maxFramePayload bounds one frame accepted off the wire (and the
+	// decompressed size of a flate batch), so a malicious peer cannot
+	// force an arbitrary allocation with a forged length field.
+	maxFramePayload = 8 << 20
+	// batchSoftLimit closes a batch frame once its payload exceeds this
+	// size; a drain larger than that is split across frames, which is
+	// also what gives the re-queue path its "unsent tail" granularity.
+	batchSoftLimit = 256 << 10
+)
+
+// DefaultOutboxLimit is the per-peer outbox bound applied when
+// HostConfig.OutboxLimit is 0 — far above any per-round protocol burst,
+// so backpressure only engages when a peer genuinely stops draining.
+const DefaultOutboxLimit = 4096
+
+// appendHello builds a hello frame payload.
+func appendHello(b []byte, from types.ProcessID, n int) []byte {
+	b = binary.BigEndian.AppendUint32(b, wireMagic)
+	b = append(b, wireVersion)
+	b = wire.AppendUvarint(b, uint64(from))
+	b = wire.AppendUvarint(b, uint64(n))
+	return b
+}
+
+// parseHello validates and decodes a hello frame payload.
+func parseHello(b []byte) (from types.ProcessID, n int, err error) {
+	if len(b) < 5 {
+		return 0, 0, wire.ErrTruncated
+	}
+	if binary.BigEndian.Uint32(b) != wireMagic {
+		return 0, 0, fmt.Errorf("transport: bad hello magic")
+	}
+	if b[4] != wireVersion {
+		return 0, 0, fmt.Errorf("transport: wire version %d, want %d", b[4], wireVersion)
+	}
+	f, rest, err := wire.ReadInt(b[5:], wire.MaxUniverse)
+	if err != nil {
+		return 0, 0, fmt.Errorf("transport: hello from: %w", err)
+	}
+	cn, _, err := wire.ReadInt(rest, wire.MaxUniverse)
+	if err != nil {
+		return 0, 0, fmt.Errorf("transport: hello n: %w", err)
+	}
+	return types.ProcessID(f), cn, nil
+}
+
+// writeFrame assembles [type][len][payload] in buf and writes it with a
+// single Write. It returns the (reusable) buffer.
+func writeFrame(w io.Writer, buf []byte, typ byte, payload []byte) ([]byte, error) {
+	buf = buf[:0]
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// readFrame reads one frame, reusing payload's backing array when it is
+// large enough. Decoders copy everything they keep, so reuse is safe.
+func readFrame(r io.Reader, hdr *[frameHeaderSize]byte, payload []byte) (byte, []byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, payload, err
+	}
+	typ := hdr[0]
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, payload, fmt.Errorf("transport: frame payload %d exceeds limit", n)
+	}
+	if cap(payload) < int(n) {
+		payload = make([]byte, n)
+	} else {
+		payload = payload[:n]
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, payload, err
+	}
+	return typ, payload, nil
+}
+
+// Host configuration. -------------------------------------------------------
+
+// HostConfig configures one Host.
+type HostConfig struct {
+	Self types.ProcessID
+	N    int
+	Node sim.Node
+	// Addr is the TCP listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// Seed seeds the Env.Rand stream handed to the node.
+	Seed int64
+	// OutboxLimit bounds each per-peer outbox in envelopes; a full outbox
+	// blocks the sending node loop (backpressure) until the writer
+	// drains. 0 selects DefaultOutboxLimit; negative means unbounded
+	// (the legacy behaviour, kept for experiments only).
+	OutboxLimit int
+	// Compress flate-compresses batch frames. Off by default: loopback
+	// and LAN meshes are rarely bandwidth-bound, and the protocol
+	// payloads here are small.
+	Compress bool
+}
+
+// envelope pairs a decoded message with its sender for the node loop.
 type envelope struct {
 	From types.ProcessID
 	Msg  sim.Message
 }
 
-// Host runs one protocol node over TCP.
-type Host struct {
-	self  types.ProcessID
-	n     int
-	node  sim.Node
-	epoch time.Time
-
-	listener net.Listener
-
-	mu      sync.Mutex
-	conns   map[types.ProcessID]net.Conn
-	outbox  map[types.ProcessID]*queue
-	rng     *rand.Rand
-	started bool
-	closed  bool
-
-	inbox chan envelope
-	// selfQ holds self-sends. It must be unbounded and separate from
-	// inbox: the node loop itself produces these, and blocking on its own
-	// bounded inbox would deadlock the loop.
-	selfQ *queue
-	calls chan func()
-	done  chan struct{}
-	wg    sync.WaitGroup
+// connRec tracks one registered peer connection. stop is closed (once)
+// when either side of the connection dies, so the reader's death promptly
+// tears down the writer and frees the peer slot for a reconnect — and
+// vice versa.
+type connRec struct {
+	c    net.Conn
+	stop chan struct{}
+	once *sync.Once
 }
 
-// queue is an unbounded FIFO with a wakeup channel.
-type queue struct {
-	mu    sync.Mutex
-	items []envelope
-	wake  chan struct{}
+// outbox is a FIFO with an optional bound and a writer wakeup channel.
+// push blocks while the queue is at its limit (backpressure); requeue
+// prepends regardless of the limit (failed-write tails must never be
+// dropped); close unblocks every waiter.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []envelope
+	limit  int // <= 0: unbounded
+	closed bool
+	wake   chan struct{}
 }
 
-func newQueue() *queue {
-	return &queue{wake: make(chan struct{}, 1)}
+func newOutbox(limit int) *outbox {
+	q := &outbox{limit: limit, wake: make(chan struct{}, 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
 }
 
-func (q *queue) push(e envelope) {
+// push appends e, blocking while the queue is full. It reports false when
+// the queue was closed (the host is shutting down; the message is
+// discarded).
+func (q *outbox) push(e envelope) bool {
 	q.mu.Lock()
+	for q.limit > 0 && len(q.items) >= q.limit && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
 	q.items = append(q.items, e)
 	q.mu.Unlock()
 	q.signal()
+	return true
 }
 
-// pushFront prepends e; used for the hello frame which must precede any
-// queued protocol traffic.
-func (q *queue) pushFront(e envelope) {
+// requeue prepends batch (a failed write's unsent tail), ignoring the
+// bound: bounded outboxes apply backpressure to new sends, never loss to
+// already-accepted ones.
+func (q *outbox) requeue(batch []envelope) {
 	q.mu.Lock()
-	q.items = append([]envelope{e}, q.items...)
+	merged := make([]envelope, 0, len(batch)+len(q.items))
+	merged = append(merged, batch...)
+	merged = append(merged, q.items...)
+	q.items = merged
 	q.mu.Unlock()
 	q.signal()
 }
 
-func (q *queue) signal() {
+func (q *outbox) signal() {
 	select {
 	case q.wake <- struct{}{}:
 	default:
 	}
 }
 
-func (q *queue) drain() []envelope {
+// drain takes the whole queue and wakes any sender blocked on the bound.
+func (q *outbox) drain() []envelope {
 	q.mu.Lock()
 	out := q.items
 	q.items = nil
 	q.mu.Unlock()
+	q.cond.Broadcast()
 	return out
 }
 
-// NewHost creates a host for `node` listening on addr (use "127.0.0.1:0"
-// for an ephemeral port). Call Addr to learn the bound address, Connect to
+// len reports the current queue length (tests and stats).
+func (q *outbox) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *outbox) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Stats. --------------------------------------------------------------------
+
+// peerCounters are the per-peer atomic counters behind PeerStats.
+type peerCounters struct {
+	frames     atomic.Uint64
+	msgs       atomic.Uint64
+	bytes      atomic.Uint64
+	writeErrs  atomic.Uint64
+	encodeErrs atomic.Uint64
+	requeued   atomic.Uint64
+}
+
+// PeerStats is a snapshot of one peer link's writer-side counters.
+type PeerStats struct {
+	// FramesSent counts batch frames written (one Write syscall each).
+	FramesSent uint64
+	// MessagesSent and BytesSent count messages and total wire bytes
+	// (frame headers included) written to the peer.
+	MessagesSent uint64
+	BytesSent    uint64
+	// WriteErrors counts connection write failures; each one re-queued
+	// the unsent tail (Requeued envelopes in total) instead of losing it.
+	WriteErrors uint64
+	Requeued    uint64
+	// EncodeErrors counts messages that could not be encoded (an
+	// unregistered type reaching a real transport); such messages are
+	// dropped and counted, never silently skipped.
+	EncodeErrors uint64
+}
+
+// HostStats aggregates a host's traffic counters.
+type HostStats struct {
+	PeerStats // writer-side totals across all peers
+	// MessagesReceived / BytesReceived count decoded inbound traffic
+	// (frame headers included in bytes).
+	MessagesReceived uint64
+	BytesReceived    uint64
+}
+
+// Host. ---------------------------------------------------------------------
+
+// Host runs one protocol node over TCP.
+type Host struct {
+	self     types.ProcessID
+	n        int
+	node     sim.Node
+	epoch    time.Time
+	compress bool
+
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[types.ProcessID]connRec
+	outbox  map[types.ProcessID]*outbox
+	rng     *rand.Rand
+	started bool
+	closed  bool
+
+	stats     []peerCounters
+	recvMsgs  atomic.Uint64
+	recvBytes atomic.Uint64
+
+	inbox chan envelope
+	// selfQ holds self-sends. It must be unbounded and separate from
+	// inbox: the node loop itself produces these, and blocking on its own
+	// bounded inbox would deadlock the loop.
+	selfQ *outbox
+	calls chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewHost creates a host with default limits; see NewHostConfig for the
+// full set of knobs. Call Addr to learn the bound address, Connect to
 // wire peers, then Start.
 func NewHost(self types.ProcessID, n int, node sim.Node, addr string, seed int64) (*Host, error) {
-	l, err := net.Listen("tcp", addr)
+	return NewHostConfig(HostConfig{Self: self, N: n, Node: node, Addr: addr, Seed: seed})
+}
+
+// NewHostConfig creates a host for cfg.Node listening on cfg.Addr.
+func NewHostConfig(cfg HostConfig) (*Host, error) {
+	if cfg.N <= 0 || cfg.Self < 0 || int(cfg.Self) >= cfg.N {
+		return nil, fmt.Errorf("transport: self %v out of range for n=%d", cfg.Self, cfg.N)
+	}
+	limit := cfg.OutboxLimit
+	if limit == 0 {
+		limit = DefaultOutboxLimit
+	}
+	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	h := &Host{
-		self:     self,
-		n:        n,
-		node:     node,
+		self:     cfg.Self,
+		n:        cfg.N,
+		node:     cfg.Node,
 		epoch:    time.Now(),
+		compress: cfg.Compress,
 		listener: l,
-		conns:    map[types.ProcessID]net.Conn{},
-		outbox:   map[types.ProcessID]*queue{},
-		rng:      rand.New(rand.NewSource(seed)),
+		conns:    map[types.ProcessID]connRec{},
+		outbox:   map[types.ProcessID]*outbox{},
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stats:    make([]peerCounters, cfg.N),
 		inbox:    make(chan envelope, 1024),
-		selfQ:    newQueue(),
+		selfQ:    newOutbox(0),
 		calls:    make(chan func()),
 		done:     make(chan struct{}),
 	}
 	// Outboxes exist for every peer up front: messages sent before the
 	// connection is wired are queued and flushed once it attaches, so the
 	// "reliable links" assumption holds from the first Init broadcast.
-	for p := 0; p < n; p++ {
-		if types.ProcessID(p) != self {
-			h.outbox[types.ProcessID(p)] = newQueue()
+	for p := 0; p < cfg.N; p++ {
+		if types.ProcessID(p) != cfg.Self {
+			h.outbox[types.ProcessID(p)] = newOutbox(limit)
 		}
 	}
 	h.wg.Add(1)
@@ -155,8 +431,54 @@ func NewHost(self types.ProcessID, n int, node sim.Node, addr string, seed int64
 // Addr returns the listener's address.
 func (h *Host) Addr() string { return h.listener.Addr().String() }
 
+// Connected returns the peers with a registered live connection, in
+// ascending order (tests and monitoring).
+func (h *Host) Connected() []types.ProcessID {
+	h.mu.Lock()
+	out := make([]types.ProcessID, 0, len(h.conns))
+	for p := range h.conns {
+		out = append(out, p)
+	}
+	h.mu.Unlock()
+	return types.SortedCopy(out)
+}
+
+// PeerStats returns a snapshot of the writer-side counters for one peer.
+func (h *Host) PeerStats(peer types.ProcessID) PeerStats {
+	if peer < 0 || int(peer) >= h.n {
+		return PeerStats{}
+	}
+	c := &h.stats[peer]
+	return PeerStats{
+		FramesSent:   c.frames.Load(),
+		MessagesSent: c.msgs.Load(),
+		BytesSent:    c.bytes.Load(),
+		WriteErrors:  c.writeErrs.Load(),
+		Requeued:     c.requeued.Load(),
+		EncodeErrors: c.encodeErrs.Load(),
+	}
+}
+
+// Stats returns the host's aggregate traffic counters.
+func (h *Host) Stats() HostStats {
+	var s HostStats
+	for p := range h.stats {
+		ps := h.PeerStats(types.ProcessID(p))
+		s.FramesSent += ps.FramesSent
+		s.MessagesSent += ps.MessagesSent
+		s.BytesSent += ps.BytesSent
+		s.WriteErrors += ps.WriteErrors
+		s.Requeued += ps.Requeued
+		s.EncodeErrors += ps.EncodeErrors
+	}
+	s.MessagesReceived = h.recvMsgs.Load()
+	s.BytesReceived = h.recvBytes.Load()
+	return s
+}
+
 // acceptLoop accepts peer connections; the first frame on each connection
-// is a hello envelope identifying the peer.
+// must be a valid hello identifying the peer, or the connection is
+// dropped before anything is registered.
 func (h *Host) acceptLoop() {
 	defer h.wg.Done()
 	for {
@@ -167,96 +489,261 @@ func (h *Host) acceptLoop() {
 		h.wg.Add(1)
 		go func() {
 			defer h.wg.Done()
-			dec := gob.NewDecoder(c)
-			var hello envelope
-			if err := dec.Decode(&hello); err != nil {
+			br := bufio.NewReaderSize(c, 64<<10)
+			var hdr [frameHeaderSize]byte
+			typ, payload, err := readFrame(br, &hdr, nil)
+			if err != nil || typ != frameHello {
 				_ = c.Close()
 				return
 			}
-			h.registerConn(hello.From, c)
-			h.readLoop(hello.From, dec)
+			peer, cn, err := parseHello(payload)
+			// Validate BEFORE anything touches the connection maps: an
+			// out-of-range ID, a self-connection or a mesh-size mismatch
+			// never gets registered (and can therefore never leave a
+			// stale conn behind for Close to trip over).
+			if err != nil || cn != h.n || peer == h.self || int(peer) >= h.n {
+				_ = c.Close()
+				return
+			}
+			rec, ok := h.registerConn(peer, c)
+			if !ok {
+				return // duplicate or shutting down; registerConn closed c
+			}
+			h.readLoop(peer, br, rec)
 		}()
 	}
 }
 
-// Connect dials a peer's listener and registers the connection. Only one
-// side of each pair should dial (by convention, the lower ID).
+// Connect dials a peer's listener, performs the hello handshake, and
+// registers the connection. Only one side of each pair should dial (by
+// convention, the lower ID); dialing a peer that is already connected is
+// an error and the duplicate connection is closed (keep-first).
 func (h *Host) Connect(peer types.ProcessID, addr string) error {
+	if peer == h.self || peer < 0 || int(peer) >= h.n {
+		return fmt.Errorf("transport: unknown peer %v", peer)
+	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("transport: dial %v: %w", peer, err)
 	}
-	// The hello frame identifies us to the acceptor. It travels through
-	// the peer's outbox so that exactly one gob encoder ever writes to
-	// the connection (a second encoder would resend type definitions and
-	// corrupt the stream).
-	h.mu.Lock()
-	q := h.outbox[peer]
-	h.mu.Unlock()
-	if q == nil {
+	// The codec is stateless per frame, so the hello is written directly
+	// here, before any writer exists for the connection — it is
+	// guaranteed to be the first bytes on the wire.
+	if _, err := writeFrame(c, nil, frameHello, appendHello(nil, h.self, h.n)); err != nil {
 		_ = c.Close()
-		return fmt.Errorf("transport: unknown peer %v", peer)
+		return fmt.Errorf("transport: hello to %v: %w", peer, err)
 	}
-	q.pushFront(envelope{From: h.self})
-	h.registerConn(peer, c)
+	rec, ok := h.registerConn(peer, c)
+	if !ok {
+		return fmt.Errorf("transport: peer %v already connected", peer)
+	}
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
-		h.readLoop(peer, gob.NewDecoder(c))
+		h.readLoop(peer, bufio.NewReaderSize(c, 64<<10), rec)
 	}()
 	return nil
 }
 
-// registerConn stores the connection and spawns the writer that drains the
-// peer's (pre-existing) outbox.
-func (h *Host) registerConn(peer types.ProcessID, c net.Conn) {
+// registerConn stores the connection and spawns the writer that drains
+// the peer's (pre-existing) outbox. It reports false — and closes c —
+// when the peer already has a live connection (keep-first dedup: a second
+// writer draining the same outbox would interleave and reorder the peer's
+// FIFO stream) or the host is closing. Callers must have validated peer.
+func (h *Host) registerConn(peer types.ProcessID, c net.Conn) (connRec, bool) {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		_ = c.Close()
-		return
+		return connRec{}, false
 	}
-	h.conns[peer] = c
+	if _, dup := h.conns[peer]; dup {
+		h.mu.Unlock()
+		_ = c.Close()
+		return connRec{}, false
+	}
+	rec := connRec{c: c, stop: make(chan struct{}), once: new(sync.Once)}
+	h.conns[peer] = rec
 	q := h.outbox[peer]
 	h.mu.Unlock()
-	if q == nil {
-		_ = c.Close() // unknown peer ID
-		return
-	}
-
 	h.wg.Add(1)
-	go func() {
-		defer h.wg.Done()
-		enc := gob.NewEncoder(c)
-		for {
-			// Drain first: messages may have been queued before the
-			// connection attached.
-			for _, e := range q.drain() {
-				if err := enc.Encode(e); err != nil {
-					return // connection gone
-				}
-			}
-			select {
-			case <-h.done:
-				return
-			case <-q.wake:
-			}
-		}
-	}()
+	go h.writer(peer, rec, q)
+	return rec, true
 }
 
-// readLoop decodes envelopes into the inbox until the connection dies.
-func (h *Host) readLoop(peer types.ProcessID, dec *gob.Decoder) {
+// dropConn tears one connection down from either side: closes its stop
+// channel (waking the other goroutine), removes it from the conn map if
+// it is still the registered connection for peer — so a reconnect can
+// attach a fresh one — and closes the socket.
+func (h *Host) dropConn(peer types.ProcessID, rec connRec) {
+	rec.once.Do(func() { close(rec.stop) })
+	h.mu.Lock()
+	if cur, ok := h.conns[peer]; ok && cur.c == rec.c {
+		delete(h.conns, peer)
+	}
+	h.mu.Unlock()
+	_ = rec.c.Close()
+}
+
+// writer drains the peer's outbox into batched frames until the host
+// closes or the connection fails. On failure the unsent tail is re-queued
+// and the connection unregistered, so a reconnect resumes the stream.
+func (h *Host) writer(peer types.ProcessID, rec connRec, q *outbox) {
+	defer h.wg.Done()
+	defer h.dropConn(peer, rec)
+	st := &h.stats[peer]
+	var payload, frame []byte
+	var fw *flate.Writer
+	var fbuf bytes.Buffer
+	if h.compress {
+		fw, _ = flate.NewWriter(&fbuf, flate.BestSpeed)
+	}
 	for {
-		var e envelope
-		if err := dec.Decode(&e); err != nil {
-			return
+		batch := q.drain()
+		if len(batch) > 0 {
+			var ok bool
+			payload, frame, ok = h.writeBatch(rec.c, st, q, batch, payload, frame, fw, &fbuf)
+			if !ok {
+				return
+			}
 		}
-		e.From = peer // trust the connection, not the frame
 		select {
-		case h.inbox <- e:
 		case <-h.done:
 			return
+		case <-rec.stop: // reader saw the connection die
+			return
+		case <-q.wake:
+		}
+	}
+}
+
+// writeBatch encodes batch into one or more frames (each closed once its
+// payload exceeds batchSoftLimit) and writes each with a single Write.
+// On a write error it re-queues the envelopes of the failed frame and
+// everything after it — the "unsent tail" — at the front of the outbox
+// and reports false. Unencodable messages are counted and skipped.
+func (h *Host) writeBatch(c net.Conn, st *peerCounters, q *outbox, batch []envelope,
+	payload, frame []byte, fw *flate.Writer, fbuf *bytes.Buffer) ([]byte, []byte, bool) {
+	i := 0
+	for i < len(batch) {
+		frameStart := i
+		payload = payload[:0]
+		msgs := 0
+		for i < len(batch) && len(payload) < batchSoftLimit {
+			msg := batch[i].Msg
+			i++
+			sz, ok := wire.EncodedSize(msg)
+			if !ok {
+				st.encodeErrs.Add(1)
+				continue
+			}
+			mark := len(payload)
+			payload = wire.AppendUvarint(payload, uint64(sz))
+			bodyStart := len(payload)
+			var err error
+			payload, err = wire.Append(payload, msg)
+			if err != nil || len(payload)-bodyStart != sz {
+				// Size/Append disagreement would corrupt the stream's
+				// length prefixes; drop the message, keep the frame sane.
+				payload = payload[:mark]
+				st.encodeErrs.Add(1)
+				continue
+			}
+			msgs++
+		}
+		if msgs == 0 {
+			continue
+		}
+		out := payload
+		typ := frameBatch
+		if fw != nil {
+			fbuf.Reset()
+			fw.Reset(fbuf)
+			if _, err := fw.Write(payload); err == nil && fw.Close() == nil {
+				out = fbuf.Bytes()
+				typ = frameFlate
+			}
+		}
+		var err error
+		frame, err = writeFrame(c, frame, typ, out)
+		if err != nil {
+			st.writeErrs.Add(1)
+			tail := make([]envelope, len(batch)-frameStart)
+			copy(tail, batch[frameStart:])
+			st.requeued.Add(uint64(len(tail)))
+			q.requeue(tail)
+			return payload, frame, false
+		}
+		st.frames.Add(1)
+		st.msgs.Add(uint64(msgs))
+		st.bytes.Add(uint64(len(out) + frameHeaderSize))
+	}
+	return payload, frame, true
+}
+
+// readLoop decodes batch frames into the inbox until the connection dies
+// or a protocol violation (unknown frame type, malformed batch, oversized
+// or bomb-expanding payload) forces the connection closed.
+func (h *Host) readLoop(peer types.ProcessID, br *bufio.Reader, rec connRec) {
+	defer h.dropConn(peer, rec)
+	var hdr [frameHeaderSize]byte
+	var payload []byte
+	var inflated []byte
+	var fr io.ReadCloser
+	for {
+		var typ byte
+		var err error
+		typ, payload, err = readFrame(br, &hdr, payload)
+		if err != nil {
+			return
+		}
+		body := payload
+		switch typ {
+		case frameBatch:
+		case frameFlate:
+			if fr == nil {
+				fr = flate.NewReader(bytes.NewReader(payload))
+			} else if err := fr.(flate.Resetter).Reset(bytes.NewReader(payload), nil); err != nil {
+				return
+			}
+			inflated = inflated[:0]
+			lr := io.LimitReader(fr, maxFramePayload+1)
+			buf := make([]byte, 32<<10)
+			for {
+				n, rerr := lr.Read(buf)
+				inflated = append(inflated, buf[:n]...)
+				if rerr == io.EOF {
+					break
+				}
+				if rerr != nil {
+					return
+				}
+			}
+			if len(inflated) > maxFramePayload {
+				return // decompression bomb
+			}
+			body = inflated
+		default:
+			return // hello after handshake, or garbage
+		}
+		h.recvBytes.Add(uint64(len(payload) + frameHeaderSize))
+		rest := body
+		for len(rest) > 0 {
+			sz, r2, err := wire.ReadUvarint(rest)
+			if err != nil || sz > uint64(len(r2)) {
+				return
+			}
+			msg, leftover, err := wire.Decode(r2[:sz])
+			if err != nil || len(leftover) != 0 {
+				return
+			}
+			rest = r2[sz:]
+			h.recvMsgs.Add(1)
+			select {
+			case h.inbox <- envelope{From: peer, Msg: msg}:
+			case <-h.done:
+				return
+			}
 		}
 	}
 }
@@ -306,7 +793,8 @@ func (h *Host) Inspect(fn func()) {
 	}
 }
 
-// Close shuts the host down and waits for all goroutines.
+// Close shuts the host down, unblocks any sender stuck in outbox
+// backpressure, and waits for all goroutines.
 func (h *Host) Close() {
 	h.mu.Lock()
 	if h.closed {
@@ -316,9 +804,13 @@ func (h *Host) Close() {
 	h.closed = true
 	close(h.done)
 	_ = h.listener.Close()
-	for _, c := range h.conns {
-		_ = c.Close()
+	for _, rec := range h.conns {
+		_ = rec.c.Close()
 	}
+	for _, q := range h.outbox {
+		q.close()
+	}
+	h.selfQ.close()
 	h.mu.Unlock()
 	h.wg.Wait()
 }
@@ -341,6 +833,9 @@ func (e hostEnv) Now() sim.VirtualTime {
 
 func (e hostEnv) Rand() *rand.Rand { return e.h.rng }
 
+// Send enqueues msg for the peer. A full outbox BLOCKS until the writer
+// drains (backpressure — see the package comment); a closed host or an
+// out-of-range destination drops the message.
 func (e hostEnv) Send(to types.ProcessID, msg sim.Message) {
 	if to == e.h.self {
 		// Local delivery via the unbounded self queue (see the field
@@ -349,11 +844,12 @@ func (e hostEnv) Send(to types.ProcessID, msg sim.Message) {
 		e.h.selfQ.push(envelope{From: e.h.self, Msg: msg})
 		return
 	}
-	e.h.mu.Lock()
-	q := e.h.outbox[to]
-	e.h.mu.Unlock()
+	h := e.h
+	h.mu.Lock()
+	q := h.outbox[to]
+	h.mu.Unlock()
 	if q == nil {
-		return // peer not connected (crashed or not yet wired)
+		return // unknown peer
 	}
 	q.push(envelope{From: e.h.self, Msg: msg})
 }
@@ -369,17 +865,41 @@ type LocalCluster struct {
 	Hosts []*Host
 }
 
+// LocalClusterConfig configures NewLocalClusterConfig.
+type LocalClusterConfig struct {
+	Seed int64
+	// OutboxLimit and Compress apply to every host (see HostConfig).
+	OutboxLimit int
+	Compress    bool
+}
+
 // NewLocalCluster builds and wires (but does not start) a loopback mesh
-// for the given nodes.
+// for the given nodes with default limits.
 func NewLocalCluster(nodes []sim.Node, seed int64) (*LocalCluster, error) {
+	return NewLocalClusterConfig(nodes, LocalClusterConfig{Seed: seed})
+}
+
+// NewLocalClusterConfig builds and wires (but does not start) a loopback
+// mesh for the given nodes.
+func NewLocalClusterConfig(nodes []sim.Node, cfg LocalClusterConfig) (*LocalCluster, error) {
 	RegisterAllWire()
 	n := len(nodes)
 	hosts := make([]*Host, n)
 	for i, nd := range nodes {
-		h, err := NewHost(types.ProcessID(i), n, nd, "127.0.0.1:0", seed+int64(i))
+		h, err := NewHostConfig(HostConfig{
+			Self:        types.ProcessID(i),
+			N:           n,
+			Node:        nd,
+			Addr:        "127.0.0.1:0",
+			Seed:        cfg.Seed + int64(i),
+			OutboxLimit: cfg.OutboxLimit,
+			Compress:    cfg.Compress,
+		})
 		if err != nil {
 			for _, prev := range hosts[:i] {
-				prev.Close()
+				if prev != nil {
+					prev.Close()
+				}
 			}
 			return nil, err
 		}
@@ -411,4 +931,21 @@ func (c *LocalCluster) Close() {
 	for _, h := range c.Hosts {
 		h.Close()
 	}
+}
+
+// Stats sums every host's traffic counters.
+func (c *LocalCluster) Stats() HostStats {
+	var s HostStats
+	for _, h := range c.Hosts {
+		hs := h.Stats()
+		s.FramesSent += hs.FramesSent
+		s.MessagesSent += hs.MessagesSent
+		s.BytesSent += hs.BytesSent
+		s.WriteErrors += hs.WriteErrors
+		s.Requeued += hs.Requeued
+		s.EncodeErrors += hs.EncodeErrors
+		s.MessagesReceived += hs.MessagesReceived
+		s.BytesReceived += hs.BytesReceived
+	}
+	return s
 }

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/coin"
+	"repro/internal/dag"
+	"repro/internal/gather"
+	"repro/internal/rider"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestFrameRoundTrip pins the [type][len][payload] frame layout.
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	payload := []byte("framed payload")
+	go func() {
+		_, _ = writeFrame(a, nil, frameBatch, payload)
+	}()
+	var hdr [frameHeaderSize]byte
+	_ = b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, got, err := readFrame(b, &hdr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameBatch || !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: type %#x payload %q", typ, got)
+	}
+}
+
+// TestFrameRejectsOversizedPayload pins the allocation bound: a forged
+// length field beyond maxFramePayload is rejected before any allocation.
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	hdr := []byte{frameBatch, 0xff, 0xff, 0xff, 0xff}
+	var h [frameHeaderSize]byte
+	if _, _, err := readFrame(bytes.NewReader(hdr), &h, nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestHelloRoundTripAndRejection pins the hello payload layout and its
+// validation failures.
+func TestHelloRoundTrip(t *testing.T) {
+	b := appendHello(nil, 3, 7)
+	from, n, err := parseHello(b)
+	if err != nil || from != 3 || n != 7 {
+		t.Fatalf("hello round trip: %v %v %v", from, n, err)
+	}
+	for name, mut := range map[string]func([]byte) []byte{
+		"short":       func(b []byte) []byte { return b[:3] },
+		"bad magic":   func(b []byte) []byte { b[1] ^= 0x40; return b },
+		"bad version": func(b []byte) []byte { b[4]++; return b },
+		"truncated":   func(b []byte) []byte { return b[:5] },
+	} {
+		bad := mut(appendHello(nil, 3, 7))
+		if _, _, err := parseHello(bad); err == nil {
+			t.Errorf("%s hello accepted", name)
+		}
+	}
+}
+
+// TestEnvelopeSizeMatchesSimMetrics is the transport end of the
+// differential wire suite: for each protocol message a consensus node
+// actually puts on the wire, the encoded frame a writer emits has
+// exactly the length sim.MessageSize charges — the property that makes
+// simulated byte metrics equal real wire bytes.
+func TestEnvelopeSizeMatchesSimMetrics(t *testing.T) {
+	v := &dag.Vertex{
+		Source: 1, Round: 2, Block: []string{"tx-a", "tx-b"},
+		StrongEdges: []dag.VertexRef{{Source: 0, Round: 1}, {Source: 2, Round: 1}},
+		WeakEdges:   []dag.VertexRef{{Source: 3, Round: 0}},
+	}
+	msgs := []sim.Message{
+		rider.VertexPayload{V: v},
+		coin.ShareMsg{Wave: 4},
+		broadcast.Bytes("payload"),
+		gather.Pairs{},
+	}
+	for _, msg := range msgs {
+		enc, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("%T: %v", msg, err)
+		}
+		if got, want := sim.MessageSize(msg), len(enc); got != want {
+			t.Errorf("%T: MessageSize %d != encoded length %d", msg, got, want)
+		}
+		dec, rest, err := wire.Decode(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%T: decode: %v (rest %d)", msg, err, len(rest))
+		}
+		re, err := wire.Marshal(dec)
+		if err != nil {
+			t.Fatalf("%T: re-marshal: %v", msg, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("%T: re-encode not byte-identical", msg)
+		}
+	}
+}
+
+// TestReadLoopClosesOnGarbage pins that a registered peer sending a
+// malformed batch gets its connection closed rather than wedging or
+// crashing the host.
+func TestReadLoopClosesOnGarbage(t *testing.T) {
+	h := newTestHost(t, 0, 2, HostConfig{Seed: 1})
+	c, err := net.Dial("tcp", h.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hello := appendHello(nil, 1, 2)
+	frame := append([]byte{frameHello, 0, 0, 0, byte(len(hello))}, hello...)
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 2*time.Second, func() bool { return len(h.Connected()) == 1 })
+	// A batch whose entry length overruns the payload is a protocol
+	// violation; the host must drop the connection.
+	if _, err := c.Write([]byte{frameBatch, 0, 0, 0, 1, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read = %v, want EOF after malformed batch", err)
+	}
+	waitUntil(t, 2*time.Second, func() bool { return len(h.Connected()) == 0 })
+}

@@ -1,0 +1,39 @@
+package types
+
+import "testing"
+
+// TestNewSetFromWords pins the validated raw-word constructor the wire
+// codec decodes bitsets through.
+func TestNewSetFromWords(t *testing.T) {
+	orig := NewSetOf(70, 0, 3, 64, 69)
+	got, err := NewSetFromWords(orig.UniverseSize(), orig.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, orig)
+	}
+	// The result must not alias the input words.
+	words := orig.Words()
+	words[0] = ^uint64(0)
+	if got.Contains(1) {
+		t.Fatal("NewSetFromWords aliased caller's words")
+	}
+
+	if _, err := NewSetFromWords(-1, nil); err == nil {
+		t.Error("negative universe accepted")
+	}
+	if _, err := NewSetFromWords(70, make([]uint64, 1)); err == nil {
+		t.Error("short word slice accepted")
+	}
+	if _, err := NewSetFromWords(70, make([]uint64, 3)); err == nil {
+		t.Error("long word slice accepted")
+	}
+	// Bits beyond the universe would corrupt Count/quorum arithmetic.
+	if _, err := NewSetFromWords(3, []uint64{0xF0}); err == nil {
+		t.Error("stray high bits accepted")
+	}
+	if s, err := NewSetFromWords(0, nil); err != nil || s.UniverseSize() != 0 {
+		t.Errorf("empty universe rejected: %v", err)
+	}
+}

@@ -262,6 +262,30 @@ func (s Set) Key() string {
 // subset/intersection tests without per-call universe checks.
 func (s Set) Words() []uint64 { return s.words }
 
+// NewSetFromWords builds a set over a universe of n processes from raw
+// backing words in the layout Words and Key expose (bit j of word k is
+// process k*64+j). The words are copied. It returns an error — rather
+// than panicking like the in-process constructors — when the word count
+// does not match the universe or a bit is set beyond it, because the
+// input typically comes off the wire from an untrusted peer.
+func NewSetFromWords(n int, words []uint64) (Set, error) {
+	if n < 0 {
+		return Set{}, fmt.Errorf("types: negative universe size %d", n)
+	}
+	wc := (n + wordBits - 1) / wordBits
+	if len(words) != wc {
+		return Set{}, fmt.Errorf("types: %d words for universe %d (want %d)", len(words), n, wc)
+	}
+	if wc > 0 {
+		if rem := n % wordBits; rem != 0 && words[wc-1]>>uint(rem) != 0 {
+			return Set{}, fmt.Errorf("types: set words carry bits beyond universe %d", n)
+		}
+	}
+	s := Set{n: n, words: make([]uint64, wc)}
+	copy(s.words, words)
+	return s, nil
+}
+
 // String renders the set in the paper's 1-based notation, e.g. {1, 2, 16}.
 func (s Set) String() string {
 	ms := s.Members()

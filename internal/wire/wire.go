@@ -1,0 +1,325 @@
+// Package wire implements the shared framed binary codec for protocol
+// messages: a compact type-tag registry plus append-style encoding
+// primitives.
+//
+// Every protocol message type registers a Codec (tag, exact size, encoder,
+// decoder) at package init. The one registration serves two consumers that
+// previously disagreed about message bytes:
+//
+//   - the deterministic simulator's byte metrics: sim.MessageSize returns
+//     the exact encoded frame length for registered types, so simulated
+//     BytesSent figures match what a real deployment puts on the wire;
+//   - the TCP transport (internal/transport), whose writer path encodes
+//     outbox drains into batched length-prefixed frames of these messages.
+//
+// A message frame is [uvarint tag][body]. The body layout is owned by the
+// registering package and built from the primitives here: uvarints,
+// length-prefixed strings and byte slices, and raw little-endian bitset
+// words (the same word layout types.Set already exposes through Words and
+// Key). Codec.Size must return the exact body length the encoder will
+// produce — Marshal verifies the invariant on every call, which is what
+// lets the simulator's metrics and the transport's frames stay equal by
+// construction.
+//
+// Tag ranges are assigned centrally so independent packages cannot
+// collide (Register panics on a conflict):
+//
+//	10–19  internal/broadcast (messages and payloads)
+//	30–39  internal/gather
+//	40–44  internal/core
+//	45–49  internal/coin
+//	50–59  internal/rider
+//	60–69  internal/transport (tooling/benchmark messages)
+//	>=1000 reserved for test-local registrations
+//
+// Decoders must validate everything before it shapes an allocation or an
+// index — bodies arrive from the network, possibly from Byzantine peers.
+// The Max* limits here bound every length field a decoder trusts.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Decode limits. Every length field read off the wire is checked against
+// one of these before it drives an allocation.
+const (
+	// MaxStringLen bounds one length-prefixed string or byte slice.
+	MaxStringLen = 1 << 20
+	// MaxCount bounds one repeated-element count (blocks, edges, pairs).
+	MaxCount = 1 << 20
+	// MaxUniverse bounds a bitset universe size (matches the bound the
+	// gather package has always enforced on wire Pairs).
+	MaxUniverse = 1 << 20
+)
+
+// ErrTruncated reports input that ended inside a field.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Codec describes how one message type encodes. All three functions
+// receive the message boxed as `any` with the registered dynamic type.
+type Codec struct {
+	// Size returns the exact encoded body length of msg. The second
+	// result is false when msg cannot be encoded at all (for example a
+	// nested interface field holding an unregistered type).
+	Size func(msg any) (int, bool)
+	// Append appends msg's body to dst and returns the extended slice.
+	Append func(dst []byte, msg any) ([]byte, error)
+	// Decode parses one body from the front of b, returning the decoded
+	// message and the remaining bytes.
+	Decode func(b []byte) (any, []byte, error)
+}
+
+type entry struct {
+	tag   uint64
+	typ   reflect.Type
+	codec Codec
+}
+
+var (
+	regMu  sync.Mutex
+	byType sync.Map // reflect.Type -> *entry
+	byTag  sync.Map // uint64 -> *entry
+)
+
+// Register binds a tag and a Codec to prototype's dynamic type.
+// Registration normally happens in package init; re-registering the same
+// (tag, type) pair is a no-op (so explicit RegisterWire helpers stay safe
+// to call repeatedly), while any conflict — tag reuse across types, or one
+// type under two tags — panics immediately.
+func Register(tag uint64, prototype any, c Codec) {
+	typ := reflect.TypeOf(prototype)
+	if typ == nil {
+		panic("wire: Register with untyped nil prototype")
+	}
+	if c.Size == nil || c.Append == nil || c.Decode == nil {
+		panic(fmt.Sprintf("wire: incomplete codec for %v", typ))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := byTag.Load(tag); ok {
+		if prev.(*entry).typ == typ {
+			return // idempotent re-registration
+		}
+		panic(fmt.Sprintf("wire: tag %d already registered for %v, cannot rebind to %v",
+			tag, prev.(*entry).typ, typ))
+	}
+	if prev, ok := byType.Load(typ); ok {
+		panic(fmt.Sprintf("wire: type %v already registered under tag %d, cannot rebind to %d",
+			typ, prev.(*entry).tag, tag))
+	}
+	e := &entry{tag: tag, typ: typ, codec: c}
+	byTag.Store(tag, e)
+	byType.Store(typ, e)
+}
+
+func lookup(msg any) (*entry, bool) {
+	e, ok := byType.Load(reflect.TypeOf(msg))
+	if !ok {
+		return nil, false
+	}
+	return e.(*entry), true
+}
+
+// Registered reports whether msg's dynamic type has a codec.
+func Registered(msg any) bool {
+	_, ok := lookup(msg)
+	return ok
+}
+
+// EncodedSize returns the exact frame length ([uvarint tag][body]) msg
+// would encode to. The second result is false when msg's dynamic type is
+// not registered or the message is not encodable.
+func EncodedSize(msg any) (int, bool) {
+	e, ok := lookup(msg)
+	if !ok {
+		return 0, false
+	}
+	n, ok := e.codec.Size(msg)
+	if !ok {
+		return 0, false
+	}
+	return UvarintSize(e.tag) + n, true
+}
+
+// Append appends msg's frame (tag + body) to dst.
+func Append(dst []byte, msg any) ([]byte, error) {
+	e, ok := lookup(msg)
+	if !ok {
+		return dst, fmt.Errorf("wire: unregistered message type %T", msg)
+	}
+	dst = AppendUvarint(dst, e.tag)
+	return e.codec.Append(dst, msg)
+}
+
+// Marshal encodes msg as one frame, verifying that the codec's Size
+// matches the bytes actually produced (the invariant the simulator's byte
+// metrics depend on).
+func Marshal(msg any) ([]byte, error) {
+	sz, sized := EncodedSize(msg)
+	var dst []byte
+	if sized {
+		dst = make([]byte, 0, sz)
+	}
+	out, err := Append(dst, msg)
+	if err != nil {
+		return nil, err
+	}
+	if sized && len(out) != sz {
+		return nil, fmt.Errorf("wire: %T encoded to %d bytes but Size reported %d", msg, len(out), sz)
+	}
+	return out, nil
+}
+
+// Decode parses one frame from the front of b, returning the message and
+// the remaining bytes.
+func Decode(b []byte) (any, []byte, error) {
+	tag, rest, err := ReadUvarint(b)
+	if err != nil {
+		return nil, b, fmt.Errorf("wire: frame tag: %w", err)
+	}
+	e, ok := byTag.Load(tag)
+	if !ok {
+		return nil, b, fmt.Errorf("wire: unknown message tag %d", tag)
+	}
+	return e.(*entry).codec.Decode(rest)
+}
+
+// Primitives. --------------------------------------------------------------
+
+// UvarintSize returns the encoded length of v.
+func UvarintSize(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// AppendUvarint appends the varint encoding of v.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// ReadUvarint parses a uvarint from the front of b.
+func ReadUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, ErrTruncated
+	}
+	return v, b[n:], nil
+}
+
+// IntSize returns the encoded length of a non-negative int (rounds, waves,
+// sequence numbers). Encoding a negative value is a programming error and
+// panics — no protocol field here is ever negative.
+func IntSize(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative int %d", v))
+	}
+	return UvarintSize(uint64(v))
+}
+
+// AppendInt appends a non-negative int as a uvarint.
+func AppendInt(dst []byte, v int) []byte {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative int %d", v))
+	}
+	return AppendUvarint(dst, uint64(v))
+}
+
+// ReadInt parses a non-negative int bounded by max (inclusive).
+func ReadInt(b []byte, max int) (int, []byte, error) {
+	v, rest, err := ReadUvarint(b)
+	if err != nil {
+		return 0, b, err
+	}
+	if v > uint64(max) {
+		return 0, b, fmt.Errorf("wire: value %d exceeds bound %d", v, max)
+	}
+	return int(v), rest, nil
+}
+
+// StringSize returns the encoded length of a length-prefixed string.
+func StringSize(s string) int { return UvarintSize(uint64(len(s))) + len(s) }
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ReadString parses a length-prefixed string (≤ MaxStringLen). The result
+// does not alias b.
+func ReadString(b []byte) (string, []byte, error) {
+	n, rest, err := ReadInt(b, MaxStringLen)
+	if err != nil {
+		return "", b, err
+	}
+	if n > len(rest) {
+		return "", b, ErrTruncated
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// BytesSize returns the encoded length of a length-prefixed byte slice.
+func BytesSize(b []byte) int { return UvarintSize(uint64(len(b))) + len(b) }
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ReadBytes parses a length-prefixed byte slice (≤ MaxStringLen). The
+// result is a copy — decoders may reuse their input buffers.
+func ReadBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := ReadInt(b, MaxStringLen)
+	if err != nil {
+		return nil, b, err
+	}
+	if n > len(rest) {
+		return nil, b, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, rest[:n])
+	return out, rest[n:], nil
+}
+
+// SetSize returns the encoded length of a bitset: uvarint universe size
+// followed by the raw little-endian backing words.
+func SetSize(s types.Set) int {
+	return UvarintSize(uint64(s.UniverseSize())) + 8*len(s.Words())
+}
+
+// AppendSet appends a bitset as [uvarint n][raw LE words], reusing the
+// word layout types.Set exposes through Words.
+func AppendSet(dst []byte, s types.Set) []byte {
+	dst = AppendUvarint(dst, uint64(s.UniverseSize()))
+	for _, w := range s.Words() {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// ReadSet parses a bitset written by AppendSet. The universe is bounded by
+// MaxUniverse and stray bits beyond it are rejected, so a Byzantine peer
+// can neither force a huge allocation nor smuggle out-of-universe members.
+func ReadSet(b []byte) (types.Set, []byte, error) {
+	n, rest, err := ReadInt(b, MaxUniverse)
+	if err != nil {
+		return types.Set{}, b, fmt.Errorf("wire: set universe: %w", err)
+	}
+	wc := (n + 63) / 64
+	if len(rest) < 8*wc {
+		return types.Set{}, b, ErrTruncated
+	}
+	words := make([]uint64, wc)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	s, err := types.NewSetFromWords(n, words)
+	if err != nil {
+		return types.Set{}, b, err
+	}
+	return s, rest[8*wc:], nil
+}

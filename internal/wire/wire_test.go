@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Test-local registrations use tags >= 1000 (reserved range).
+type probeMsg struct{ V uint64 }
+
+type probeMsg2 struct{ V uint64 }
+
+func probeCodec() Codec {
+	return Codec{
+		Size:   func(msg any) (int, bool) { return UvarintSize(msg.(probeMsg).V), true },
+		Append: func(dst []byte, msg any) ([]byte, error) { return AppendUvarint(dst, msg.(probeMsg).V), nil },
+		Decode: func(b []byte) (any, []byte, error) {
+			v, rest, err := ReadUvarint(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return probeMsg{V: v}, rest, nil
+		},
+	}
+}
+
+func TestRegistrySemantics(t *testing.T) {
+	Register(1000, probeMsg{}, probeCodec())
+	Register(1000, probeMsg{}, probeCodec()) // idempotent re-registration
+
+	if !Registered(probeMsg{}) {
+		t.Fatal("probeMsg not registered")
+	}
+	if Registered(probeMsg2{}) {
+		t.Fatal("probeMsg2 spuriously registered")
+	}
+	if _, ok := EncodedSize(probeMsg2{}); ok {
+		t.Fatal("EncodedSize for unregistered type")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("tag reuse across types", func() { Register(1000, probeMsg2{}, probeCodec()) })
+	mustPanic("type under second tag", func() { Register(1001, probeMsg{}, probeCodec()) })
+	mustPanic("nil prototype", func() { Register(1002, nil, probeCodec()) })
+	mustPanic("incomplete codec", func() { Register(1003, probeMsg2{}, Codec{}) })
+}
+
+func TestMarshalDecodeRoundTrip(t *testing.T) {
+	Register(1000, probeMsg{}, probeCodec())
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1} {
+		enc, err := Marshal(probeMsg{V: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz, ok := EncodedSize(probeMsg{V: v}); !ok || sz != len(enc) {
+			t.Fatalf("v=%d: EncodedSize %d, encoded %d", v, sz, len(enc))
+		}
+		dec, rest, err := Decode(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("v=%d: decode: %v", v, err)
+		}
+		if dec.(probeMsg).V != v {
+			t.Fatalf("v=%d round-tripped to %d", v, dec.(probeMsg).V)
+		}
+	}
+	if _, _, err := Decode([]byte{0xff}); err == nil {
+		t.Fatal("truncated tag accepted")
+	}
+	if _, _, err := Decode(AppendUvarint(nil, 999999)); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestUvarintPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		b := AppendUvarint(nil, v)
+		if len(b) != UvarintSize(v) {
+			t.Fatalf("v=%d: size %d, encoded %d bytes", v, UvarintSize(v), len(b))
+		}
+		got, rest, err := ReadUvarint(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("v=%d: round trip got %d err %v", v, got, err)
+		}
+	}
+	if _, _, err := ReadUvarint(nil); err == nil {
+		t.Fatal("empty uvarint accepted")
+	}
+	if _, _, err := ReadInt(AppendInt(nil, 100), 99); err == nil {
+		t.Fatal("out-of-bound int accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AppendInt did not panic")
+		}
+	}()
+	AppendInt(nil, -1)
+}
+
+func TestStringAndBytesPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, rng.Intn(200))
+		rng.Read(raw)
+		s := string(raw)
+		b := AppendString(nil, s)
+		if len(b) != StringSize(s) {
+			t.Fatalf("StringSize mismatch: %d vs %d", StringSize(s), len(b))
+		}
+		got, rest, err := ReadString(b)
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("string round trip failed: %v", err)
+		}
+		bb := AppendBytes(nil, raw)
+		if len(bb) != BytesSize(raw) {
+			t.Fatalf("BytesSize mismatch")
+		}
+		gb, rest, err := ReadBytes(bb)
+		if err != nil || !bytes.Equal(gb, raw) || len(rest) != 0 {
+			t.Fatalf("bytes round trip failed: %v", err)
+		}
+	}
+	// Length prefix beyond the data is truncation, not an allocation.
+	if _, _, err := ReadString(AppendUvarint(nil, 50)); err == nil {
+		t.Fatal("truncated string accepted")
+	}
+	// Length prefix beyond MaxStringLen is rejected outright.
+	if _, _, err := ReadBytes(AppendUvarint(nil, MaxStringLen+1)); err == nil {
+		t.Fatal("oversized bytes length accepted")
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(200)
+		s := types.NewSet(n)
+		for k := 0; k < n; k++ {
+			if rng.Intn(2) == 0 {
+				s.Add(types.ProcessID(k))
+			}
+		}
+		b := AppendSet(nil, s)
+		if len(b) != SetSize(s) {
+			t.Fatalf("n=%d: SetSize %d, encoded %d", n, SetSize(s), len(b))
+		}
+		got, rest, err := ReadSet(b)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("n=%d: ReadSet: %v", n, err)
+		}
+		if got.UniverseSize() != n || !got.Equal(s) {
+			t.Fatalf("n=%d: set round trip mismatch", n)
+		}
+	}
+}
+
+func TestSetDecodeRejectsAdversarial(t *testing.T) {
+	// Stray bits beyond the declared universe must be rejected — they
+	// would smuggle out-of-universe members past every quorum check.
+	b := AppendUvarint(nil, 3)
+	b = append(b, 0xFF, 0, 0, 0, 0, 0, 0, 0)
+	if _, _, err := ReadSet(b); err == nil {
+		t.Fatal("stray set bits accepted")
+	}
+	// A gigantic universe must be rejected before allocation.
+	if _, _, err := ReadSet(AppendUvarint(nil, MaxUniverse+1)); err == nil {
+		t.Fatal("oversized universe accepted")
+	}
+	// Truncated words.
+	if _, _, err := ReadSet(AppendUvarint(nil, 100)); err == nil {
+		t.Fatal("truncated set words accepted")
+	}
+}
