@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench benchcmp transportbench search scenarios clean
+.PHONY: all build test vet bench benchcmp transportbench search scenarios soak clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -46,10 +46,21 @@ transportbench:
 	$(GO) test -race -count=1 ./internal/wire ./internal/transport
 	$(GO) test -run='^$$' -bench=BenchmarkLoopbackCluster -benchmem -count=1 ./internal/transport
 
+# Bounded-memory soak of the long-lived service layer: 500 decided waves
+# (50x the original 10-wave experiment budget) under the rolling-churn
+# scenario, race-clean, plus the snapshot-equivalence and churn-survival
+# suites. The short 150-wave variant of the same tests already rides in
+# `make test`; SOAK_WAVES overrides the length.
+SOAK_WAVES ?= 500
+soak:
+	SOAK_WAVES=$(SOAK_WAVES) $(GO) test -race -count=1 -v \
+		-run 'TestService(BoundedMemorySoak|SnapshotEquivalence|SurvivesChurn)' ./internal/service
+
 # Diff two bench recordings; fails on >15% ns/op, allocs/op or B/op
-# regressions. By default the two newest BENCH_*.json are compared;
-# override with OLD=/NEW=, and the allocation gate with ALLOC_THRESHOLD=
-# (percent; negative disables).
+# regressions, and on >15% drops of rate metrics (runs/s, events/s, the
+# service benchmark's msgs/s, commits/s, tx/s). By default the two newest
+# BENCH_*.json are compared; override with OLD=/NEW=, and the allocation
+# gate with ALLOC_THRESHOLD= (percent; negative disables).
 benchcmp:
 	$(GO) run ./cmd/benchdiff $(if $(OLD),-old $(OLD)) $(if $(NEW),-new $(NEW)) $(if $(ALLOC_THRESHOLD),-allocthreshold $(ALLOC_THRESHOLD))
 

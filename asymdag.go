@@ -11,6 +11,7 @@ import (
 	"repro/internal/register"
 	"repro/internal/rider"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -313,6 +314,59 @@ func ScenarioRun(def ScenarioDefinition, cfg ScenarioSweepConfig, seed int64) Ri
 
 // SeedRange returns seeds start, start+1, ..., start+count-1 for sweeps.
 func SeedRange(start int64, count int) []int64 { return sim.SeedRange(start, count) }
+
+// Long-lived replicated service mode. -------------------------------------
+
+type (
+	// ServiceConfig configures an indefinitely-running replicated service:
+	// pipelined client batching, mandatory DAG garbage collection, and
+	// periodic snapshot/compaction (see internal/service).
+	ServiceConfig = harness.ServiceConfig
+	// ServiceResult is a service run's outcome (per-replica reports plus
+	// simulator metrics).
+	ServiceResult = harness.ServiceResult
+	// ServiceReport summarizes one replica: decided wave, applied and
+	// compacted transactions, admission-control counters, peak live state,
+	// snapshots, and commit-latency summary.
+	ServiceReport = harness.ServiceReport
+	// ServiceSnapshot is one snapshot/compaction point: the machine state
+	// after the commit that set the covered decided wave.
+	ServiceSnapshot = harness.ServiceSnapshot
+	// ServiceStats aggregates sustained throughput, commit rate, and
+	// pooled commit latency across a run's replicas.
+	ServiceStats = harness.ServiceStats
+	// ServiceLatency summarizes commit latency in virtual-time units.
+	ServiceLatency = harness.ServiceLatency
+
+	// StateMachine is the deterministic application a service replicates.
+	StateMachine = service.StateMachine
+	// KVMachine is the built-in replicated key-value StateMachine.
+	KVMachine = service.KV
+)
+
+// NewKVMachine returns an empty key-value state machine.
+func NewKVMachine() *KVMachine { return service.NewKV() }
+
+// RunService executes one long-lived service cluster until the configured
+// stop condition and collects per-replica reports.
+func RunService(cfg ServiceConfig) ServiceResult { return harness.RunService(cfg) }
+
+// SummarizeService computes run-level sustained-throughput and
+// commit-latency statistics.
+func SummarizeService(res ServiceResult) ServiceStats { return harness.SummarizeService(res) }
+
+// CheckServiceSnapshots verifies byte-identical replica states at every
+// shared snapshot wave, returning the number of comparisons made (0 =
+// vacuous: no wave was shared).
+func CheckServiceSnapshots(res ServiceResult) (int, error) {
+	return harness.CheckServiceSnapshots(res)
+}
+
+// ServiceScenarioConfig installs a named adversarial scenario (fault plane
+// and node wrappers) for the given seed into a service configuration.
+func ServiceScenarioConfig(def ScenarioDefinition, cfg ServiceConfig, seed int64) ServiceConfig {
+	return harness.ServiceScenarioConfig(def, cfg, seed)
+}
 
 // Real-network deployment (TCP). -----------------------------------------
 

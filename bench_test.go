@@ -652,6 +652,52 @@ func BenchmarkRiderWithGC(b *testing.B) {
 	}
 }
 
+// Service mode (E14): sustained throughput of the long-lived replicated
+// service — pipelined client batching, mandatory DAG GC, periodic
+// snapshot/compaction. The /s metrics are wall-clock sustained rates (make
+// benchcmp gates them against drops); the latency metrics are virtual-time
+// commit latency of a replica's own commands, and peak-vertices is the
+// GC-bounded live DAG headline.
+func BenchmarkServiceSustained(b *testing.B) {
+	trust := quorum.NewThreshold(4, 1)
+	var msgs, commits, applied, peak int
+	var p50, p99 int64
+	for i := 0; i < b.N; i++ {
+		res := harness.RunService(harness.ServiceConfig{
+			Trust: trust, Seed: int64(i), CoinSeed: int64(i)*17 + 3,
+			StopAfterWaves: 20,
+		})
+		if !res.Stopped {
+			b.Fatal("service run hit the event budget before the target wave")
+		}
+		if _, err := harness.CheckServiceSnapshots(res); err != nil {
+			b.Fatal(err)
+		}
+		st := harness.SummarizeService(res)
+		msgs += res.Metrics.MessagesDelivered
+		for _, rep := range res.Replicas {
+			commits += rep.Commits
+			applied += rep.Applied
+		}
+		if st.Latency.P50 > p50 {
+			p50 = st.Latency.P50
+		}
+		if st.Latency.P99 > p99 {
+			p99 = st.Latency.P99
+		}
+		if st.PeakLiveVertices > peak {
+			peak = st.PeakLiveVertices
+		}
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(msgs)/sec, "msgs/s")
+	b.ReportMetric(float64(commits)/sec, "commits/s")
+	b.ReportMetric(float64(applied)/sec, "tx/s")
+	b.ReportMetric(float64(p50), "p50-commit-vt")
+	b.ReportMetric(float64(p99), "p99-commit-vt")
+	b.ReportMetric(float64(peak), "peak-vertices")
+}
+
 // SWMR register: one write+read round trip across the cluster.
 func BenchmarkRegisterWriteRead(b *testing.B) {
 	trust := quorum.NewThreshold(4, 1)

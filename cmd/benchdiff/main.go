@@ -6,6 +6,12 @@
 // like the copy-on-write gather snapshots durable: a change that preserves
 // ns/op but reintroduces per-event allocation churn fails the diff.
 //
+// Custom b.ReportMetric pairs are parsed too, and rate metrics — any unit
+// ending in "/s" (runs/s, events/s, the service benchmark's msgs/s and
+// commits/s) — are gated in the opposite direction: a *drop* beyond
+// -threshold percent fails the diff, so a sustained-throughput regression
+// cannot hide behind a stable ns/op.
+//
 // Usage:
 //
 //	benchdiff -old BENCH_2026-07-01.json -new BENCH_2026-07-26.json
@@ -79,11 +85,14 @@ func main() {
 }
 
 // benchStats is one benchmark's recorded metrics. Bytes/Allocs are -1
-// when the recording lacks -benchmem output for that benchmark.
+// when the recording lacks -benchmem output for that benchmark. Custom
+// holds every other <value> <unit> pair on the result line (b.ReportMetric
+// output), keyed by unit.
 type benchStats struct {
 	Ns     float64
 	Bytes  float64
 	Allocs float64
+	Custom map[string]float64
 }
 
 // pctDelta is the growth of new over old in percent; growth from zero is
@@ -135,6 +144,14 @@ func compare(w io.Writer, oldStats, newStats map[string]benchStats, nsThreshold,
 				}
 			}
 		}
+		// Rate metrics gate in the opposite direction: dropping below the
+		// old recording by more than the ns threshold is the regression.
+		for _, unit := range sortedRateUnits(o.Custom, n.Custom) {
+			if pctDelta(o.Custom[unit], n.Custom[unit]) < -nsThreshold {
+				markers = append(markers, fmt.Sprintf("%s DROP (%.0f -> %.0f)",
+					unit, o.Custom[unit], n.Custom[unit]))
+			}
+		}
 		marker := ""
 		if len(markers) > 0 {
 			marker = "  " + strings.Join(markers, ", ")
@@ -149,6 +166,19 @@ func compare(w io.Writer, oldStats, newStats map[string]benchStats, nsThreshold,
 		fmt.Fprintf(w, "%-48s %14.0f %14s     (removed)\n", name, oldStats[name].Ns, "-")
 	}
 	return regressions, len(names), nil
+}
+
+// sortedRateUnits returns the "/s"-suffixed units present in both custom
+// maps, sorted — the rate metrics the drop gate applies to.
+func sortedRateUnits(a, b map[string]float64) []string {
+	var units []string
+	for unit := range a {
+		if _, ok := b[unit]; ok && strings.HasSuffix(unit, "/s") {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 // sortedDisjoint returns the names in a but not in b, sorted — map
@@ -235,10 +265,13 @@ func parseStream(f io.Reader, path string) (map[string]benchStats, error) {
 			}
 			// If a benchmark appears multiple times (-count > 1), keep the
 			// per-metric minimum — the standard "best of" noise reduction.
+			// Rate metrics (unit "/s") are best when largest, so they fold
+			// with max instead.
 			if prev, seen := stats[name]; seen {
 				s.Ns = math.Min(s.Ns, prev.Ns)
 				s.Bytes = minMetric(s.Bytes, prev.Bytes)
 				s.Allocs = minMetric(s.Allocs, prev.Allocs)
+				s.Custom = foldCustom(prev.Custom, s.Custom)
 			}
 			stats[name] = s
 		}
@@ -247,6 +280,30 @@ func parseStream(f io.Reader, path string) (map[string]benchStats, error) {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
 	}
 	return stats, nil
+}
+
+// foldCustom merges custom metrics across -count repetitions: max for
+// rate units ("/s", larger is better), min for everything else.
+func foldCustom(prev, cur map[string]float64) map[string]float64 {
+	if prev == nil {
+		return cur
+	}
+	out := map[string]float64{}
+	for unit, v := range prev {
+		out[unit] = v
+	}
+	for unit, v := range cur {
+		p, seen := out[unit]
+		switch {
+		case !seen:
+			out[unit] = v
+		case strings.HasSuffix(unit, "/s"):
+			out[unit] = math.Max(p, v)
+		default:
+			out[unit] = math.Min(p, v)
+		}
+	}
+	return out
 }
 
 // minMetric folds two possibly-absent (-1) metric values.
@@ -284,6 +341,16 @@ func parseBenchLine(line string) (string, benchStats, bool) {
 			s.Bytes = v
 		case "allocs/op":
 			s.Allocs = v
+		default:
+			// A numeric field is a value, not a unit; anything else is a
+			// custom b.ReportMetric unit (waves/commit, msgs/s, ...).
+			if _, numErr := strconv.ParseFloat(fields[i], 64); numErr == nil {
+				continue
+			}
+			if s.Custom == nil {
+				s.Custom = map[string]float64{}
+			}
+			s.Custom[fields[i]] = v
 		}
 	}
 	if s.Ns < 0 {

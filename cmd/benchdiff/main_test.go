@@ -26,10 +26,14 @@ func TestParseBenchLineMetrics(t *testing.T) {
 		t.Fatalf("absent metrics not marked: %+v", s)
 	}
 
-	// Custom metrics (waves/commit etc.) must not confuse the parser.
-	_, s, ok = parseBenchLine("BenchmarkBaz-8   \t 10\t 5 ns/op\t 3.50 waves/commit\t 7 allocs/op")
+	// Custom metrics (waves/commit etc.) are captured without confusing
+	// the standard columns.
+	_, s, ok = parseBenchLine("BenchmarkBaz-8   \t 10\t 5 ns/op\t 3.50 waves/commit\t 7 allocs/op\t 2000 msgs/s")
 	if !ok || s.Ns != 5 || s.Allocs != 7 {
 		t.Fatalf("custom-metric line: ok=%v stats=%+v", ok, s)
+	}
+	if s.Custom["waves/commit"] != 3.5 || s.Custom["msgs/s"] != 2000 {
+		t.Fatalf("custom metrics not captured: %+v", s.Custom)
 	}
 
 	if _, _, ok := parseBenchLine("goos: linux"); ok {
@@ -124,6 +128,57 @@ func TestCompareGatesEachMetric(t *testing.T) {
 	}
 	if regressions != 1 {
 		t.Fatalf("with alloc gate off, regressions = %d, want 1", regressions)
+	}
+}
+
+func TestParseStreamFoldsCustomMetrics(t *testing.T) {
+	// Across -count repetitions, rate metrics keep the max (larger is
+	// better) while other custom metrics keep the min.
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkFoo-8   100   200 ns/op   3.0 waves/commit   1000 msgs/s\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkFoo-8   100   150 ns/op   2.5 waves/commit   900 msgs/s\n"}
+`
+	stats, err := parseStream(strings.NewReader(stream), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stats["BenchmarkFoo"].Custom
+	if c["msgs/s"] != 1000 || c["waves/commit"] != 2.5 {
+		t.Fatalf("custom fold wrong: %+v", c)
+	}
+}
+
+func TestCompareGatesRateDrops(t *testing.T) {
+	oldStats := map[string]benchStats{
+		"BenchmarkDrop":   {Ns: 100, Bytes: -1, Allocs: -1, Custom: map[string]float64{"msgs/s": 1000, "p99-vt": 50}},
+		"BenchmarkSteady": {Ns: 100, Bytes: -1, Allocs: -1, Custom: map[string]float64{"msgs/s": 1000}},
+	}
+	newStats := map[string]benchStats{
+		// msgs/s halved: a sustained-throughput regression even though
+		// ns/op is flat. The non-rate p99-vt metric doubling is NOT gated.
+		"BenchmarkDrop":   {Ns: 100, Bytes: -1, Allocs: -1, Custom: map[string]float64{"msgs/s": 500, "p99-vt": 100}},
+		"BenchmarkSteady": {Ns: 100, Bytes: -1, Allocs: -1, Custom: map[string]float64{"msgs/s": 990}},
+	}
+	var out strings.Builder
+	regressions, compared, err := compare(&out, oldStats, newStats, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, out.String())
+	}
+	if !strings.Contains(out.String(), "msgs/s DROP") {
+		t.Fatalf("output lacks rate-drop marker:\n%s", out.String())
+	}
+	// A rate *increase* must never trip the gate.
+	regressions, _, err = compare(&strings.Builder{}, newStats, oldStats, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 0 {
+		t.Fatalf("rate increase counted as regression (%d)", regressions)
 	}
 }
 

@@ -102,6 +102,23 @@
 //     without loss. Per-peer counters surface frames/messages/bytes and
 //     error/re-queue counts; `make transportbench` runs the race-checked
 //     suite plus the 50-node loopback mesh benchmark (msgs/s, bytes/s).
+//   - A long-lived replicated service mode (internal/service, public
+//     ServiceConfig/RunService): instead of running N waves and stopping,
+//     replicas run indefinitely — an admission-bounded client request
+//     queue batches transactions into block payloads, wave proposal is
+//     pipelined a bounded depth ahead of decisions, DAG garbage
+//     collection is mandatory (the round window, broadcast slot trackers
+//     and coin shares all prune below the decided horizon, so memory is
+//     bounded for an unbounded run — a 500-wave rolling-churn soak pins
+//     the live counters flat), and every few decided waves the replica
+//     snapshots its StateMachine and compacts the applied log. Total
+//     order makes snapshots byte-identical across replicas at every
+//     shared decided wave (CheckServiceSnapshots verifies; a 100-seed
+//     equivalence suite also replays the full log against each
+//     snapshot). BenchmarkServiceSustained records sustained msgs/s,
+//     commits/s and commit-latency percentiles, gated by `make benchcmp`
+//     against throughput drops; examples/keyvalue is the runnable
+//     flagship, riding out rolling churn with byte-identical snapshots.
 //
 // # Quickstart
 //

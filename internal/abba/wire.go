@@ -1,0 +1,80 @@
+// Binary wire codec registration for the binary-agreement messages (see
+// internal/wire for the frame layout and tag-range assignments). With
+// these — plus the acs envelope codec in internal/acs — ABBA and ACS runs
+// cross the TCP transport with the same bytes the simulator meters.
+package abba
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Wire tags (range 70–74, assigned in internal/wire's central table).
+const (
+	wireTagVal    = 70
+	wireTagAux    = 71
+	wireTagDecide = 72
+)
+
+// maxWireRound bounds round numbers accepted off the wire.
+const maxWireRound = 1 << 30
+
+func init() {
+	registerRoundBitMsg(wireTagVal, valMsg{},
+		func(m any) (int, int) { v := m.(valMsg); return v.Round, v.B },
+		func(r, b int) any { return valMsg{Round: r, B: b} })
+	registerRoundBitMsg(wireTagAux, auxMsg{},
+		func(m any) (int, int) { v := m.(auxMsg); return v.Round, v.B },
+		func(r, b int) any { return auxMsg{Round: r, B: b} })
+	wire.Register(wireTagDecide, decideMsg{}, wire.Codec{
+		Size: func(msg any) (int, bool) { return wire.IntSize(msg.(decideMsg).B), true },
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			return wire.AppendInt(dst, msg.(decideMsg).B), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			bit, rest, err := readBit(b)
+			if err != nil {
+				return nil, b, err
+			}
+			return decideMsg{B: bit}, rest, nil
+		},
+	})
+}
+
+// registerRoundBitMsg registers one of the two structurally identical
+// round-tagged bit messages: [uvarint round][uvarint b].
+func registerRoundBitMsg(tag uint64, prototype any,
+	get func(any) (int, int), build func(int, int) any) {
+	wire.Register(tag, prototype, wire.Codec{
+		Size: func(msg any) (int, bool) {
+			r, b := get(msg)
+			return wire.IntSize(r) + wire.IntSize(b), true
+		},
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			r, b := get(msg)
+			dst = wire.AppendInt(dst, r)
+			return wire.AppendInt(dst, b), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			r, rest, err := wire.ReadInt(b, maxWireRound)
+			if err != nil {
+				return nil, b, fmt.Errorf("abba: wire round: %w", err)
+			}
+			bit, rest, err := readBit(rest)
+			if err != nil {
+				return nil, b, err
+			}
+			return build(r, bit), rest, nil
+		},
+	})
+}
+
+// readBit decodes a binary value, rejecting anything but 0 or 1.
+func readBit(b []byte) (int, []byte, error) {
+	bit, rest, err := wire.ReadInt(b, 1)
+	if err != nil {
+		return 0, b, fmt.Errorf("abba: wire bit: %w", err)
+	}
+	return bit, rest, nil
+}

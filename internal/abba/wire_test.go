@@ -1,0 +1,53 @@
+package abba
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestABBAWireRoundTrip pins the binary-agreement wire codecs: exact
+// frames, lossless round trips, and bit-range validation off the wire.
+func TestABBAWireRoundTrip(t *testing.T) {
+	msgs := []any{
+		valMsg{Round: 0, B: 0},
+		valMsg{Round: 7, B: 1},
+		auxMsg{Round: 3, B: 0},
+		auxMsg{Round: 1 << 16, B: 1},
+		decideMsg{B: 0},
+		decideMsg{B: 1},
+	}
+	for _, msg := range msgs {
+		enc, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("%#v: marshal: %v", msg, err)
+		}
+		sz, ok := wire.EncodedSize(msg)
+		if !ok || sz != len(enc) {
+			t.Fatalf("%#v: EncodedSize %d/%v != encoded length %d", msg, sz, ok, len(enc))
+		}
+		dec, rest, err := wire.Decode(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%#v: decode: %v (rest %d)", msg, err, len(rest))
+		}
+		if dec != msg {
+			t.Fatalf("round trip mutated %#v into %#v", msg, dec)
+		}
+	}
+}
+
+// TestABBAWireRejectsBadBit checks off-the-wire validation: a value
+// outside {0,1} in a bit position must not decode.
+func TestABBAWireRejectsBadBit(t *testing.T) {
+	frame := wire.AppendUvarint(nil, wireTagVal)
+	frame = wire.AppendInt(frame, 3) // round
+	frame = wire.AppendInt(frame, 2) // invalid bit
+	if _, _, err := wire.Decode(frame); err == nil {
+		t.Fatal("valMsg with bit=2 accepted")
+	}
+	frame = wire.AppendUvarint(nil, wireTagDecide)
+	frame = wire.AppendInt(frame, 9)
+	if _, _, err := wire.Decode(frame); err == nil {
+		t.Fatal("decideMsg with bit=9 accepted")
+	}
+}

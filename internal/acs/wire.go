@@ -1,0 +1,54 @@
+// Binary wire codec registration for the ACS instance envelope (see
+// internal/wire for the frame layout and tag-range assignments).
+//
+// wrapMsg is a nested-frame codec like broadcast's payload embedding: the
+// body is [uvarint idx] followed by the inner message as a complete wire
+// frame, so every already-registered inner type (the abba VAL/AUX/DECIDE
+// messages, the gather messages, the broadcast envelopes they ride in)
+// travels without this package enumerating them. An envelope whose inner
+// message is not wire-registered is not encodable — Size reports false and
+// the simulator falls back to the SimSize approximation — which keeps
+// test-local inner types working in pure-simulation runs.
+package acs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Wire tag (range 75–79, assigned in internal/wire's central table).
+const wireTagWrap = 75
+
+// maxWireIdx bounds instance indexes accepted off the wire.
+const maxWireIdx = 1 << 20
+
+func init() {
+	wire.Register(wireTagWrap, wrapMsg{}, wire.Codec{
+		Size: func(msg any) (int, bool) {
+			w := msg.(wrapMsg)
+			inner, ok := wire.EncodedSize(w.Inner)
+			if !ok {
+				return 0, false
+			}
+			return wire.IntSize(w.Idx) + inner, true
+		},
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			w := msg.(wrapMsg)
+			dst = wire.AppendInt(dst, w.Idx)
+			return wire.Append(dst, w.Inner)
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			idx, rest, err := wire.ReadInt(b, maxWireIdx)
+			if err != nil {
+				return nil, b, fmt.Errorf("acs: wire idx: %w", err)
+			}
+			inner, rest, err := wire.Decode(rest)
+			if err != nil {
+				return nil, b, fmt.Errorf("acs: wire inner: %w", err)
+			}
+			return wrapMsg{Idx: idx, Inner: sim.Message(inner)}, rest, nil
+		},
+	})
+}

@@ -109,6 +109,10 @@ type Reliable struct {
 	deliver Deliver
 	slots   map[Slot]*rbSlot
 	nextSeq uint64
+	// pruned is the slot-sequence watermark set by PruneBelow: per-slot
+	// state below it has been discarded and late messages for those slots
+	// are dropped (see PruneBelow for the trade).
+	pruned uint64
 }
 
 type rbSlot struct {
@@ -177,6 +181,9 @@ func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 		if m.Slot.Src != from {
 			return true // drop forgery
 		}
+		if m.Slot.Seq < r.pruned {
+			return true // slot already garbage-collected
+		}
 		st := r.slot(m.Slot)
 		if st.sentEcho {
 			return true // echo only the first payload per slot
@@ -185,6 +192,9 @@ func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 		st.payloads[m.Payload.Key()] = m.Payload
 		env.Broadcast(echoMsg{Slot: m.Slot, Payload: m.Payload})
 	case echoMsg:
+		if m.Slot.Seq < r.pruned {
+			return true
+		}
 		st := r.slot(m.Slot)
 		key := m.Payload.Key()
 		st.payloads[key] = m.Payload
@@ -194,6 +204,9 @@ func (r *Reliable) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 			env.Broadcast(readyMsg{Slot: m.Slot, Payload: m.Payload})
 		}
 	case readyMsg:
+		if m.Slot.Seq < r.pruned {
+			return true
+		}
 		st := r.slot(m.Slot)
 		key := m.Payload.Key()
 		st.payloads[key] = m.Payload
@@ -322,6 +335,31 @@ func (p *Plain) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool 
 	p.deliver(env, m.Slot, m.Payload)
 	return true
 }
+
+// PruneBelow discards per-slot tracker state for every slot with sequence
+// number below seq, and drops late messages for such slots from then on.
+// DAG protocols use the round number as the sequence, so the consensus
+// layer's GC watermark translates directly. The trade mirrors DAG pruning:
+// a process so far behind that it still needs a pruned slot must be caught
+// up by state transfer, not by re-running the broadcast (the slots below
+// the watermark were already delivered and applied here). Without this the
+// per-slot echo/ready maps are the dominant unbounded allocation of a
+// long-lived run.
+func (r *Reliable) PruneBelow(seq uint64) {
+	if seq <= r.pruned {
+		return
+	}
+	r.pruned = seq
+	for s := range r.slots {
+		if s.Seq < seq {
+			delete(r.slots, s)
+		}
+	}
+}
+
+// SlotCount returns the number of slots with live tracker state (a
+// bounded-memory soak counter).
+func (r *Reliable) SlotCount() int { return len(r.slots) }
 
 // EquivocateSend lets tests and adversarial nodes inject a conflicting SEND
 // for a slot directly to one recipient, bypassing the Broadcaster API. Only

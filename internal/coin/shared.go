@@ -33,6 +33,7 @@ type Shared struct {
 	shares   map[int]*quorum.Tracker
 	released map[int]bool
 	ready    map[int]bool
+	pruned   int // waves below this were garbage-collected (PruneBelow)
 }
 
 // NewShared creates the share-gated coin for one process.
@@ -64,6 +65,9 @@ func (s *Shared) Handle(env sim.Env, from types.ProcessID, msg sim.Message) (bec
 	if !ok {
 		return false, false
 	}
+	if m.Wave < s.pruned {
+		return false, true // stale share for a garbage-collected wave
+	}
 	t, ok := s.shares[m.Wave]
 	if !ok {
 		t = quorum.NewTracker(s.trust, s.self)
@@ -79,6 +83,33 @@ func (s *Shared) Handle(env sim.Env, from types.ProcessID, msg sim.Message) (bec
 
 // Ready reports whether the wave's coin value can be reconstructed.
 func (s *Shared) Ready(wave int) bool { return s.ready[wave] }
+
+// PruneBelow drops the share trackers and release/ready flags of waves
+// strictly below wave. Consensus GC calls this once a wave is decided and
+// behind the horizon: the reveal already happened, so the per-wave maps are
+// dead weight in a long-lived run. Leader() for a pruned wave falls back to
+// "not revealed"; callers never ask below the decided wave.
+func (s *Shared) PruneBelow(wave int) {
+	if wave <= s.pruned {
+		return
+	}
+	s.pruned = wave
+	for w := range s.shares {
+		if w < wave {
+			delete(s.shares, w)
+		}
+	}
+	for w := range s.released {
+		if w < wave {
+			delete(s.released, w)
+		}
+	}
+	for w := range s.ready {
+		if w < wave {
+			delete(s.ready, w)
+		}
+	}
+}
 
 // Leader returns the wave's leader if the coin has been revealed.
 func (s *Shared) Leader(wave int) (types.ProcessID, bool) {

@@ -83,8 +83,35 @@ type Config struct {
 	// delivered are pruned, bounding memory (the paper flags DAG-Rider's
 	// unbounded memory in §4.5). 0 disables GC (the paper's protocol).
 	// GC trades the eventual delivery of extremely late vertices for the
-	// bound; see the pruning notes in internal/dag.
+	// bound; see the pruning notes in internal/dag. When enabled it also
+	// prunes the reliable-broadcast slot trackers, the revealed-coin share
+	// maps and the stale pending-coin entries below the same horizon, so
+	// every per-round/per-wave structure of the node is bounded — the
+	// service layer (internal/service) requires this for unbounded runs.
 	GCDepth int
+	// PipelineDepth bounds how many waves ahead of the last decided wave
+	// this node will propose into: with depth d, vertex creation stalls at
+	// a wave boundary rather than enter wave decidedWave+d+1. The DAG
+	// protocol pipelines naturally (rounds advance without waiting for
+	// decisions); the bound is what keeps the undecided window — and hence
+	// the live state GC cannot reclaim — finite over an unbounded run.
+	// While stalled the node still absorbs vertices, answers control
+	// traffic and retries the pending wave commit on every step, so the
+	// stall lifts as soon as the wave decides. 0 means unbounded (the
+	// batch-run behaviour).
+	PipelineDepth int
+	// DeliverySink, when non-nil, receives every atomically delivered
+	// vertex instead of the node accumulating it in Deliveries() — the
+	// long-lived service applies deliveries to a state machine and must
+	// not grow an in-memory log forever. Same for CommitSink and
+	// Commits(). For one commit the node invokes DeliverySink for each
+	// delivered vertex first, then CommitSink once: a sink consumer sees
+	// "apply the wave's deliveries, then observe the commit", which is
+	// the snapshot trigger ordering internal/service counts on.
+	DeliverySink func(rider.Delivery)
+	// CommitSink, when non-nil, receives wave-commit events instead of
+	// Commits() accumulating them.
+	CommitSink func(rider.CommitEvent)
 }
 
 // waveCtl is the per-wave gather control state. The tallies are
@@ -346,6 +373,14 @@ func (n *Node) step(env sim.Env) {
 		if n.cfg.MaxRound > 0 && n.r >= n.cfg.MaxRound {
 			return
 		}
+		// Pipeline bound: don't start proposing into a wave more than
+		// PipelineDepth beyond the last decided one. The condition can
+		// only become true at a wave boundary (r ≡ 0 mod 4, where the
+		// waveReady retry above runs on every step), so a stalled node
+		// keeps attempting the blocking commit until it lifts.
+		if n.cfg.PipelineDepth > 0 && rider.RoundWave(n.r+1) > n.decidedWave+n.cfg.PipelineDepth {
+			return
+		}
 		n.r++
 		v := n.createVertex(n.r)
 		n.arb.Broadcast(env, uint64(n.r), rider.VertexPayload{V: v})
@@ -402,8 +437,20 @@ func (n *Node) waveReady(env sim.Env, w int) {
 		}
 	}
 	n.decidedWave = w
-	n.commits = append(n.commits, rider.CommitEvent{Wave: w, Leader: leader, Time: env.Now(), Round: n.r})
-	n.deliveries = append(n.deliveries, rider.OrderVertices(n.dag, stack, n.delivered, w, env.Now())...)
+	ev := rider.CommitEvent{Wave: w, Leader: leader, Time: env.Now(), Round: n.r}
+	ordered := rider.OrderVertices(n.dag, stack, n.delivered, w, env.Now())
+	if n.cfg.DeliverySink != nil {
+		for _, d := range ordered {
+			n.cfg.DeliverySink(d)
+		}
+	} else {
+		n.deliveries = append(n.deliveries, ordered...)
+	}
+	if n.cfg.CommitSink != nil {
+		n.cfg.CommitSink(ev)
+	} else {
+		n.commits = append(n.commits, ev)
+	}
 	if n.cfg.GCDepth > 0 {
 		n.collectGarbage(w)
 	}
@@ -441,6 +488,19 @@ func (n *Node) collectGarbage(decided int) {
 		}
 	}
 	n.buffer = keep
+	// The reliable-broadcast slot trackers, the revealed-coin share maps
+	// and stale pending-coin entries are per-round/per-wave state too;
+	// without pruning them a long-lived run grows without bound even
+	// though the DAG itself stays flat.
+	n.arb.PruneBelow(uint64(watermark))
+	if n.shared != nil {
+		n.shared.PruneBelow(decided)
+	}
+	for w := range n.pendingCoin {
+		if w <= n.decidedWave {
+			delete(n.pendingCoin, w)
+		}
+	}
 }
 
 // waveLeader returns the coin-elected leader vertex of wave w, if present
@@ -487,6 +547,32 @@ func (n *Node) DeliveredBlocks() []string {
 
 // DAG exposes the local DAG for invariant checks in tests.
 func (n *Node) DAG() *dag.DAG { return n.dag }
+
+// LiveStats is a snapshot of every per-round/per-wave structure whose size
+// the garbage collector is responsible for bounding. The soak tests sample
+// it at snapshot points and assert it stays flat after warm-up.
+type LiveStats struct {
+	DAGVertices    int // vertices in the live DAG window
+	DAGRounds      int // rounds in the live DAG window (Height − PrunedBelow)
+	BroadcastSlots int // reliable-broadcast slots with tracker state
+	Buffered       int // vertices awaiting causal history
+	RoundTrackers  int // per-round source quorum trackers
+	WaveCtls       int // per-wave gather control states
+	PendingPairs   int // delivered-set + acked-set entries ("pending pairs")
+}
+
+// Live returns the node's current live-state counters.
+func (n *Node) Live() LiveStats {
+	return LiveStats{
+		DAGVertices:    n.dag.VertexCount(),
+		DAGRounds:      n.dag.Height() - n.dag.PrunedBelow(),
+		BroadcastSlots: n.arb.SlotCount(),
+		Buffered:       len(n.buffer),
+		RoundTrackers:  len(n.roundSrc),
+		WaveCtls:       len(n.waves),
+		PendingPairs:   len(n.delivered) + len(n.acked),
+	}
+}
 
 // RegisterWire registers the consensus message types with encoding/gob for
 // use over a real transport. Safe to call multiple times.

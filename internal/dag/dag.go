@@ -47,10 +47,16 @@ func (v *Vertex) Parents() []VertexRef {
 
 // DAG is one process's local copy of the graph. The zero value is not
 // usable; call New.
+//
+// Round storage is base-offset: rounds[i] holds round base+i, and pruning
+// advances base. This is what makes GC actually bound memory over an
+// unbounded service run — the slice length tracks the live round window
+// (pruned rounds are dropped from the front, not just nil-ed in place), so
+// the backing array stays O(window) no matter how many rounds have passed.
 type DAG struct {
-	n           int
-	rounds      []map[types.ProcessID]*Vertex
-	prunedBelow int
+	n      int
+	base   int // round number of rounds[0]; rounds below base are pruned
+	rounds []map[types.ProcessID]*Vertex
 }
 
 // New creates an empty DAG for n processes.
@@ -58,12 +64,22 @@ func New(n int) *DAG {
 	return &DAG{n: n}
 }
 
+// roundMap returns round r's storage, or nil when r is pruned or beyond the
+// allocated window.
+func (d *DAG) roundMap(r int) map[types.ProcessID]*Vertex {
+	i := r - d.base
+	if i < 0 || i >= len(d.rounds) {
+		return nil
+	}
+	return d.rounds[i]
+}
+
 // ensureRound grows the per-round storage.
 func (d *DAG) ensureRound(r int) map[types.ProcessID]*Vertex {
-	for len(d.rounds) <= r {
+	for len(d.rounds) <= r-d.base {
 		d.rounds = append(d.rounds, map[types.ProcessID]*Vertex{})
 	}
-	return d.rounds[r]
+	return d.rounds[r-d.base]
 }
 
 // Add inserts v. It returns an error if a different vertex from the same
@@ -74,8 +90,8 @@ func (d *DAG) Add(v *Vertex) error {
 	if v.Round < 0 {
 		return fmt.Errorf("dag: negative round %d", v.Round)
 	}
-	if v.Round < d.prunedBelow {
-		return fmt.Errorf("dag: round %d already pruned (watermark %d)", v.Round, d.prunedBelow)
+	if v.Round < d.base {
+		return fmt.Errorf("dag: round %d already pruned (watermark %d)", v.Round, d.base)
 	}
 	for _, ref := range v.Parents() {
 		if _, ok := d.Get(ref); !ok {
@@ -92,10 +108,7 @@ func (d *DAG) Add(v *Vertex) error {
 
 // Get returns the vertex with the given identity.
 func (d *DAG) Get(ref VertexRef) (*Vertex, bool) {
-	if ref.Round < 0 || ref.Round >= len(d.rounds) {
-		return nil, false
-	}
-	v, ok := d.rounds[ref.Round][ref.Source]
+	v, ok := d.roundMap(ref.Round)[ref.Source]
 	return v, ok
 }
 
@@ -119,10 +132,7 @@ func (d *DAG) HasAllParents(v *Vertex) bool {
 // RoundSources returns the set of processes with a vertex in round r.
 func (d *DAG) RoundSources(r int) types.Set {
 	s := types.NewSet(d.n)
-	if r < 0 || r >= len(d.rounds) {
-		return s
-	}
-	for src := range d.rounds[r] {
+	for src := range d.roundMap(r) {
 		s.Add(src)
 	}
 	return s
@@ -131,11 +141,12 @@ func (d *DAG) RoundSources(r int) types.Set {
 // RoundVertices returns the vertices of round r sorted by source (a
 // deterministic order shared by all processes).
 func (d *DAG) RoundVertices(r int) []*Vertex {
-	if r < 0 || r >= len(d.rounds) {
+	m := d.roundMap(r)
+	if len(m) == 0 {
 		return nil
 	}
-	out := make([]*Vertex, 0, len(d.rounds[r]))
-	for _, v := range d.rounds[r] {
+	out := make([]*Vertex, 0, len(m))
+	for _, v := range m {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
@@ -143,7 +154,7 @@ func (d *DAG) RoundVertices(r int) []*Vertex {
 }
 
 // Height returns one past the highest round with storage allocated.
-func (d *DAG) Height() int { return len(d.rounds) }
+func (d *DAG) Height() int { return d.base + len(d.rounds) }
 
 // VertexCount returns the total number of vertices.
 func (d *DAG) VertexCount() int {
@@ -268,12 +279,14 @@ func (d *DAG) CausalHistory(v VertexRef) []*Vertex {
 // PruneBelow removes the contiguous prefix of rounds strictly below limit
 // in which every vertex satisfies canPrune (typically "was delivered").
 // It stops at the first round that does not qualify and returns the new
-// watermark: the lowest retained round.
+// watermark: the lowest retained round. Pruned rounds are dropped from the
+// front of the storage window, so a long-lived run's memory tracks the
+// live window, not the total round count.
 func (d *DAG) PruneBelow(limit int, canPrune func(*Vertex) bool) int {
-	for d.prunedBelow < limit && d.prunedBelow < len(d.rounds) {
-		r := d.prunedBelow
+	dropped := 0
+	for d.base+dropped < limit && dropped < len(d.rounds) {
 		ok := true
-		for _, v := range d.rounds[r] {
+		for _, v := range d.rounds[dropped] {
 			if !canPrune(v) {
 				ok = false
 				break
@@ -282,12 +295,16 @@ func (d *DAG) PruneBelow(limit int, canPrune func(*Vertex) bool) int {
 		if !ok {
 			break
 		}
-		d.rounds[r] = nil
-		d.prunedBelow++
+		d.rounds[dropped] = nil // release the map before resliceing
+		dropped++
 	}
-	return d.prunedBelow
+	if dropped > 0 {
+		d.rounds = d.rounds[dropped:]
+		d.base += dropped
+	}
+	return d.base
 }
 
 // PrunedBelow returns the lowest retained round (0 when nothing was
 // pruned).
-func (d *DAG) PrunedBelow() int { return d.prunedBelow }
+func (d *DAG) PrunedBelow() int { return d.base }

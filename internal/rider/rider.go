@@ -111,6 +111,10 @@ func (w *QueueWorkload) Submit(txs ...string) {
 	w.queue = append(w.queue, txs...)
 }
 
+// Len returns the number of queued, not-yet-proposed transactions — the
+// service layer's admission control reads it to bound the queue.
+func (w *QueueWorkload) Len() int { return len(w.queue) }
+
 // NextBlock implements Workload.
 func (w *QueueWorkload) NextBlock(int) []string {
 	n := w.BatchSize
@@ -188,7 +192,16 @@ func SetWeakEdges(d *dag.DAG, v *dag.Vertex, round int) {
 	for _, e := range v.StrongEdges {
 		mark(e)
 	}
-	for r := round - 2; r >= 1; r-- {
+	// Rounds below the GC watermark hold no vertices; stopping there keeps
+	// vertex creation O(live window) in a long-lived run instead of
+	// scanning every round since genesis. The cut is sound for receivers
+	// too: pruned vertices were already delivered locally, and the edges a
+	// vertex carries are fixed by its creator before broadcast.
+	low := d.PrunedBelow()
+	if low < 1 {
+		low = 1
+	}
+	for r := round - 2; r >= low; r-- {
 		for _, u := range d.RoundVertices(r) {
 			if !reachable[u.Ref()] {
 				v.WeakEdges = append(v.WeakEdges, u.Ref())

@@ -1,0 +1,45 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// CompareSnapshots verifies the service-mode agreement invariant across a
+// run's replicas: whenever two replicas both snapshotted at the same
+// decided wave, their applied counts match and their machine states are
+// byte-identical. Replicas may pass through different decided-wave
+// sequences (chain commits jump), so only waves actually shared are
+// compared. It returns the number of cross-replica comparisons made —
+// 0 means no wave was shared, a vacuous result callers should flag.
+func CompareSnapshots(res Result) (int, error) {
+	type point struct {
+		owner types.ProcessID
+		snap  Snapshot
+	}
+	byWave := map[int]point{}
+	common := 0
+	for p, rep := range res.Replicas {
+		for _, s := range rep.Snapshots {
+			prev, ok := byWave[s.Wave]
+			if !ok {
+				byWave[s.Wave] = point{owner: p, snap: s}
+				continue
+			}
+			common++
+			if prev.snap.Applied != s.Applied {
+				return common, fmt.Errorf(
+					"service: wave %d applied mismatch: replica %v applied %d, replica %v applied %d",
+					s.Wave, prev.owner, prev.snap.Applied, p, s.Applied)
+			}
+			if !bytes.Equal(prev.snap.State, s.State) {
+				return common, fmt.Errorf(
+					"service: wave %d snapshot state differs between replicas %v and %v",
+					s.Wave, prev.owner, p)
+			}
+		}
+	}
+	return common, nil
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"sort"
+	"strings"
+)
+
+// StateMachine is the replicated application a Replica drives. Apply must
+// be deterministic — two machines fed the same command sequence must reach
+// Snapshot-identical states — because cross-replica byte equality at
+// snapshot points is the service's correctness contract.
+type StateMachine interface {
+	// Apply executes one committed transaction.
+	Apply(tx string)
+	// Snapshot returns a canonical serialization of the current state.
+	// Equal states must serialize to equal bytes (sort your maps).
+	Snapshot() []byte
+}
+
+// KV is the flagship machine: a string key-value store driven by
+// "set <key> <value>" commands; anything else is counted but ignored (a
+// real service would reject at admission). Snapshot is the sorted
+// key=value listing plus the applied-command count, so two KVs are
+// byte-identical exactly when they applied the same command sequence
+// length with the same effect.
+type KV struct {
+	m       map[string]string
+	applied int
+}
+
+// NewKV returns an empty key-value machine.
+func NewKV() *KV { return &KV{m: map[string]string{}} }
+
+var _ StateMachine = (*KV)(nil)
+
+// Apply implements StateMachine.
+func (k *KV) Apply(tx string) {
+	k.applied++
+	rest, ok := strings.CutPrefix(tx, "set ")
+	if !ok {
+		return
+	}
+	key, val, ok := strings.Cut(rest, " ")
+	if !ok {
+		return
+	}
+	k.m[key] = val
+}
+
+// Get returns the current value of a key.
+func (k *KV) Get(key string) (string, bool) {
+	v, ok := k.m[key]
+	return v, ok
+}
+
+// Len returns the number of live keys.
+func (k *KV) Len() int { return len(k.m) }
+
+// Snapshot implements StateMachine with a deterministic serialization.
+func (k *KV) Snapshot() []byte {
+	keys := make([]string, 0, len(k.m))
+	for key := range k.m {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("applied ")
+	b.WriteString(itoa(k.applied))
+	b.WriteByte('\n')
+	for _, key := range keys {
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(k.m[key])
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// itoa avoids pulling fmt into the hot snapshot path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

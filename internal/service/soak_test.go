@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+	"repro/internal/scenario"
+	"repro/internal/types"
+)
+
+// soakWaves returns the soak length in waves: SOAK_WAVES overrides the
+// short default (make soak sets it to 500 — 50× the pre-service 10-wave
+// budget; the default keeps `make test` fast while still running far past
+// warm-up).
+func soakWaves() int {
+	if s := os.Getenv("SOAK_WAVES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 150
+}
+
+// TestServiceBoundedMemorySoak runs the service under the rolling-churn
+// scenario for many times the old batch-run wave budget and asserts the
+// GC-bounded live counters are flat: the peak over the second half of the
+// snapshot trail must not exceed the post-warm-up first-half peak. Counters
+// (live DAG vertices, broadcast slots, pending pairs), not wall-clock or
+// heap readings, so the assertion is deterministic.
+func TestServiceBoundedMemorySoak(t *testing.T) {
+	waves := soakWaves()
+	def, ok := scenario.Find("rolling-churn")
+	if !ok {
+		t.Fatal("rolling-churn scenario missing from the registry")
+	}
+	sc := def.Build(4, 1)
+	cfg := Config{
+		Trust:          quorum.NewThreshold(4, 1),
+		Seed:           1,
+		CoinSeed:       2,
+		StopAfterWaves: waves,
+		Fault:          sc.FaultPlane(),
+		Wrap:           sc.WrapNode,
+	}
+	res := Run(cfg)
+	if !res.Stopped {
+		t.Fatalf("soak truncated at event budget before wave %d (HitLimit=%v)", waves, res.HitLimit)
+	}
+	for p, rep := range res.Replicas {
+		snaps := rep.Snapshots
+		if len(snaps) < 8 {
+			t.Fatalf("replica %v: only %d snapshots over %d waves", p, len(snaps), waves)
+		}
+		// Warm-up: drop the first quarter (covers startup and the churn
+		// windows at virtual time [100,500), which end well inside it on
+		// any soak length).
+		post := snaps[len(snaps)/4:]
+		half := len(post) / 2
+		firstPeak := peakOf(post[:half])
+		secondPeak := peakOf(post[half:])
+		// Flat up to scheduling jitter: the live window's peak can wobble
+		// by a slot or two between halves; unbounded growth over hundreds
+		// of extra waves would exceed any constant by orders of magnitude.
+		checkFlat := func(name string, first, second int) {
+			tolerance := 2 + first/10
+			if second > first+tolerance {
+				t.Errorf("replica %v: %s grew after warm-up: first-half peak %d, second-half peak %d",
+					p, name, first, second)
+			}
+		}
+		checkFlat("live DAG vertices", firstPeak.DAGVertices, secondPeak.DAGVertices)
+		checkFlat("live DAG rounds", firstPeak.DAGRounds, secondPeak.DAGRounds)
+		checkFlat("broadcast slots", firstPeak.BroadcastSlots, secondPeak.BroadcastSlots)
+		checkFlat("pending pairs", firstPeak.PendingPairs, secondPeak.PendingPairs)
+		checkFlat("round trackers", firstPeak.RoundTrackers, secondPeak.RoundTrackers)
+		// The compacted tail is the log-side bound: with compaction on,
+		// the retained tail at any snapshot is 0 by construction, and the
+		// final tail covers at most SnapshotEvery waves of traffic.
+		if rep.TailLen > rep.Applied/2 {
+			t.Errorf("replica %v: retained tail %d out of %d applied — compaction not engaging",
+				p, rep.TailLen, rep.Applied)
+		}
+	}
+	compareSnapshots(t, res, "soak")
+}
+
+func peakOf(snaps []Snapshot) core.LiveStats {
+	var peak core.LiveStats
+	for _, s := range snaps {
+		l := s.Live
+		if l.DAGVertices > peak.DAGVertices {
+			peak.DAGVertices = l.DAGVertices
+		}
+		if l.DAGRounds > peak.DAGRounds {
+			peak.DAGRounds = l.DAGRounds
+		}
+		if l.BroadcastSlots > peak.BroadcastSlots {
+			peak.BroadcastSlots = l.BroadcastSlots
+		}
+		if l.PendingPairs > peak.PendingPairs {
+			peak.PendingPairs = l.PendingPairs
+		}
+		if l.RoundTrackers > peak.RoundTrackers {
+			peak.RoundTrackers = l.RoundTrackers
+		}
+	}
+	return peak
+}
+
+// TestServiceSnapshotEquivalence is the snapshot ⇔ log-replay pin across a
+// 100-seed sweep: a replica's snapshot state at compaction point k must
+// equal a fresh state machine replaying the full ordered log up to k's
+// applied count, and replicas sharing a snapshot wave must agree
+// byte-for-byte.
+func TestServiceSnapshotEquivalence(t *testing.T) {
+	const seeds = 100
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := Config{
+			Trust:          quorum.NewThreshold(4, 1),
+			Seed:           seed,
+			CoinSeed:       seed * 31,
+			StopAfterWaves: 6,
+			RetainLog:      true,
+		}
+		res := Run(cfg)
+		if !res.Stopped {
+			t.Fatalf("seed %d: run truncated", seed)
+		}
+		for p, rep := range res.Replicas {
+			for i, s := range rep.Snapshots {
+				if s.Applied > len(rep.Log) {
+					t.Fatalf("seed %d replica %v: snapshot %d applied=%d > log len %d",
+						seed, p, i, s.Applied, len(rep.Log))
+				}
+				replay := NewKV()
+				for _, tx := range rep.Log[:s.Applied] {
+					replay.Apply(tx)
+				}
+				if !bytes.Equal(replay.Snapshot(), s.State) {
+					t.Fatalf("seed %d replica %v: snapshot at wave %d (applied %d) != log replay",
+						seed, p, s.Wave, s.Applied)
+				}
+			}
+			_ = p
+		}
+		compareSnapshots(t, res, "seed "+strconv.FormatInt(seed, 10))
+	}
+}
+
+// TestServiceSurvivesChurnScenarios runs the service under every built-in
+// scenario that keeps all processes correct-or-recovering, checking the
+// stop condition is reached and snapshots agree.
+func TestServiceSurvivesChurn(t *testing.T) {
+	def, ok := scenario.Find("rolling-churn")
+	if !ok {
+		t.Fatal("rolling-churn scenario missing")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := def.Build(4, seed)
+		cfg := Config{
+			Trust:          quorum.NewThreshold(4, 1),
+			Seed:           seed,
+			CoinSeed:       seed + 100,
+			StopAfterWaves: 20,
+			Fault:          sc.FaultPlane(),
+			Wrap:           sc.WrapNode,
+		}
+		res := Run(cfg)
+		if !res.Stopped {
+			t.Fatalf("seed %d: churn run truncated", seed)
+		}
+		for p, rep := range res.Replicas {
+			if rep.DecidedWave < 20 {
+				t.Errorf("seed %d: replica %v stuck at wave %d", seed, p, rep.DecidedWave)
+			}
+		}
+		compareSnapshots(t, res, "churn seed "+strconv.FormatInt(seed, 10))
+	}
+}
+
+var _ = types.ProcessID(0)

@@ -3,8 +3,6 @@ package sim
 import (
 	"math/rand"
 	"slices"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -184,22 +182,20 @@ func (r *Runner) stepBatch() int {
 			r.runReceiver(i)
 		}
 	} else {
-		var next atomic.Int32
-		var wg sync.WaitGroup
-		wg.Add(workers)
+		// Persistent pool: wake the first `workers` pooled goroutines and
+		// wait for the batch. Spawning per batch used to dominate small
+		// batches (goroutine creation + stack setup per timestamp); the
+		// pool pays one channel send and one WaitGroup Done per worker
+		// per batch instead. Work distribution (the shared poolNext
+		// counter) and the commit discipline are unchanged, so observable
+		// behaviour stays byte-identical across worker counts.
+		r.ensurePool()
+		r.poolNext.Store(0)
+		r.poolBatch.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(r.active) {
-						return
-					}
-					r.runReceiver(i)
-				}
-			}()
+			r.poolWake[w] <- struct{}{}
 		}
-		wg.Wait()
+		r.poolBatch.Wait()
 	}
 
 	// Re-raise the panic of the smallest panicking receiver ID on the
@@ -260,4 +256,57 @@ func (r *Runner) releaseRecv(to int) {
 		evs[i] = event{}
 	}
 	r.perRecv[to] = evs[:0]
+}
+
+// Persistent worker pool. --------------------------------------------------
+//
+// The pool's lifetime is one Run/RunUntil invocation: ensurePool starts it
+// lazily at the first batch that needs more than one worker, and the
+// deferred stopPool in Run/RunUntil tears it down (including on panic
+// unwind) — so an abandoned Runner never leaks goroutines, and a sweep
+// creating thousands of Runners holds pooled goroutines only for runs in
+// flight.
+
+// ensurePool starts the persistent worker pool if it is not running.
+func (r *Runner) ensurePool() {
+	if r.poolWake != nil {
+		return
+	}
+	r.poolWake = make([]chan struct{}, r.cfg.DeliveryWorkers)
+	r.poolExited.Add(len(r.poolWake))
+	for w := range r.poolWake {
+		ch := make(chan struct{}, 1)
+		r.poolWake[w] = ch
+		go r.poolWorker(ch)
+	}
+}
+
+// poolWorker is one pooled delivery goroutine: each wake-up corresponds to
+// exactly one batch (the per-worker channel guarantees a fast worker can't
+// consume a second token), and channel close is the shutdown signal.
+func (r *Runner) poolWorker(wake chan struct{}) {
+	defer r.poolExited.Done()
+	for range wake {
+		for {
+			i := int(r.poolNext.Add(1)) - 1
+			if i >= len(r.active) {
+				break
+			}
+			r.runReceiver(i)
+		}
+		r.poolBatch.Done()
+	}
+}
+
+// stopPool shuts the pool down and waits for the workers to exit. The next
+// multi-worker batch restarts it.
+func (r *Runner) stopPool() {
+	if r.poolWake == nil {
+		return
+	}
+	for _, ch := range r.poolWake {
+		close(ch)
+	}
+	r.poolExited.Wait()
+	r.poolWake = nil
 }

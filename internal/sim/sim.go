@@ -72,6 +72,8 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -379,6 +381,16 @@ type Runner struct {
 	active    []int
 	panicVals []any
 
+	// Persistent delivery worker pool (parallel.go): started lazily at
+	// the first multi-worker batch of a Run/RunUntil invocation, stopped
+	// when it returns — batches reuse the pooled goroutines instead of
+	// spawning per batch. poolWake has one buffered channel per worker so
+	// a fast worker can never steal a second wake-up within one batch.
+	poolWake   []chan struct{}
+	poolNext   atomic.Int32
+	poolBatch  sync.WaitGroup
+	poolExited sync.WaitGroup
+
 	// typeCounts accumulates per-message-type counters keyed by dynamic
 	// type; the string-keyed Metrics.ByType view is materialized lazily by
 	// Metrics(). Formatting "%T" per send used to show up in profiles.
@@ -652,6 +664,7 @@ func ResolveEventBudget(configured int) int {
 func (r *Runner) Run(limit int) int {
 	processed := 0
 	if r.cfg.DeliveryWorkers > 0 {
+		defer r.stopPool()
 		for limit <= 0 || processed < limit {
 			n := r.stepBatch()
 			if n == 0 {
@@ -681,6 +694,7 @@ func (r *Runner) RunUntil(pred func() bool, limit int) bool {
 	}
 	processed := 0
 	if r.cfg.DeliveryWorkers > 0 {
+		defer r.stopPool()
 		for limit <= 0 || processed < limit {
 			n := r.stepBatch()
 			if n == 0 {

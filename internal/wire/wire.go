@@ -30,6 +30,8 @@
 //	45–49  internal/coin
 //	50–59  internal/rider
 //	60–69  internal/transport (tooling/benchmark messages)
+//	70–74  internal/abba
+//	75–79  internal/acs (instance envelope, nested-frame)
 //	>=1000 reserved for test-local registrations
 //
 // Decoders must validate everything before it shapes an allocation or an
