@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet bench benchcmp transportbench search scenarios soak clean
+.PHONY: all build test vet lint bench benchcmp transportbench search scenarios soak clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -14,13 +14,21 @@ all: build test
 build:
 	$(GO) build ./...
 
-# vet + race detector: the sweep engine's worker pool must stay race-clean,
-# and the randomized conformance suites exercise it on every run. The
-# scenario registry sweep rides along so `make test` always exercises the
-# adversarial scenarios end to end.
-test: scenarios
-	$(GO) vet ./...
+# vet + custom analyzers + race detector: the sweep engine's worker pool
+# must stay race-clean, and the randomized conformance suites exercise it
+# on every run. The scenario registry sweep rides along so `make test`
+# always exercises the adversarial scenarios end to end, and `lint` runs
+# the repository's own determinism/wire-contract analyzers (cmd/asymvet)
+# alongside stock go vet.
+test: scenarios lint
 	$(GO) test -race ./...
+
+# Repository-specific static analysis: the internal/lint analyzers
+# (asymdeterminism, asymwire, asymsizer — see internal/lint's package
+# comment for the contracts) over the whole tree, plus stock go vet.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/asymvet ./...
 
 # Sweep every built-in adversarial scenario (internal/scenario) over a few
 # seeds and check each one's declared Definition 4.1 properties; bounded to
@@ -69,5 +77,16 @@ benchcmp:
 search:
 	$(GO) run ./cmd/quorumtool -system random -n 12 -search 50
 
+# Remove only bench recordings that are not committed: historical
+# BENCH_*.json are tracked in-tree as the perf trajectory, so deleting
+# everything matching the glob (as this target once did) destroyed
+# committed history.
 clean:
-	rm -f BENCH_*.json
+	@for f in BENCH_*.json; do \
+		[ -e "$$f" ] || continue; \
+		if git ls-files --error-unmatch "$$f" >/dev/null 2>&1; then \
+			echo "keeping tracked $$f"; \
+		else \
+			rm -f "$$f" && echo "removed $$f"; \
+		fi; \
+	done

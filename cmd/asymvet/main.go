@@ -1,0 +1,75 @@
+// Command asymvet is the repository's custom static-analysis gate: it
+// runs the internal/lint analyzers (asymdeterminism, asymwire,
+// asymsizer — see internal/lint's package comment for the contracts they
+// enforce) over the given package patterns and exits non-zero on any
+// finding.
+//
+// Usage:
+//
+//	asymvet [-only name[,name]] [packages...]
+//
+// Patterns default to ./... relative to the current directory. asymvet
+// is a standalone multichecker rather than a `go vet -vettool` plugin —
+// the vettool protocol requires golang.org/x/tools, which this build
+// does not vendor — so it loads and type-checks packages itself via
+// `go list -export`. `make lint` (and through it `make test`) runs it
+// tree-wide; stock `go vet` still runs separately for the standard
+// analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "asymvet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymvet:", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asymvet:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "asymvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

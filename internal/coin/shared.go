@@ -14,9 +14,6 @@ type ShareMsg struct {
 	Wave int
 }
 
-// SimSize implements sim.Sizer (a BLS share is ~48 bytes on the wire).
-func (ShareMsg) SimSize() int { return 48 }
-
 // Shared is the revealed common coin: the leader of wave w becomes known
 // only after coin shares for w have been received from one of the local
 // process's quorums. This reproduces the unpredictability discipline of

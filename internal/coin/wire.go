@@ -16,8 +16,7 @@ const wireTagShare = 45
 // implementation substitutes a PRF for the threshold scheme (see the
 // package comment), so the bytes are zero on the wire and skipped on
 // decode — but they are carried, so the byte metrics and the transport
-// both price a share at what the real protocol would pay, exactly as
-// ShareMsg.SimSize always claimed.
+// both price a share at what the real protocol would pay.
 const shareReservedBytes = 48
 
 // maxWireWave bounds the wave number accepted off the wire.

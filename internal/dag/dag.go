@@ -132,6 +132,7 @@ func (d *DAG) HasAllParents(v *Vertex) bool {
 // RoundSources returns the set of processes with a vertex in round r.
 func (d *DAG) RoundSources(r int) types.Set {
 	s := types.NewSet(d.n)
+	//lint:ordered Set.Add is commutative; the same set results in any order
 	for src := range d.roundMap(r) {
 		s.Add(src)
 	}
@@ -286,6 +287,7 @@ func (d *DAG) PruneBelow(limit int, canPrune func(*Vertex) bool) int {
 	dropped := 0
 	for d.base+dropped < limit && dropped < len(d.rounds) {
 		ok := true
+		//lint:ordered false-latch over all vertices; the conjunction is order-free
 		for _, v := range d.rounds[dropped] {
 			if !canPrune(v) {
 				ok = false

@@ -12,8 +12,6 @@ type distUMsg struct {
 	U    Pairs
 }
 
-func (m distUMsg) SimSize() int { return 8 + m.U.SimSize() }
-
 // BindingNode is the binding variant of the asymmetric gather: Algorithm 3
 // plus one extra exchange round, following Abraham et al.'s observation
 // (paper §2.4) that a binding common core costs one additional round.

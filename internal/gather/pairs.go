@@ -80,6 +80,7 @@ func NewPairs(n int) Pairs {
 // (convenience for tests and adversarial nodes).
 func PairsOf(n int, m map[types.ProcessID]string) Pairs {
 	p := NewPairs(n)
+	//lint:ordered Set writes each key's own slot; distinct keys commute
 	for k, v := range m {
 		p.Set(k, v)
 	}
@@ -283,16 +284,6 @@ func (p Pairs) String() string {
 	})
 	b.WriteString("}")
 	return b.String()
-}
-
-// SimSize approximates the wire size of a pair set.
-func (p Pairs) SimSize() int {
-	sz := 0
-	p.ForEach(func(_ types.ProcessID, v string) bool {
-		sz += 8 + len(v)
-		return true
-	})
-	return sz
 }
 
 // pairsWire is the gob representation of Pairs (the in-memory layout has

@@ -34,14 +34,10 @@ type distSMsg struct {
 	S    Pairs
 }
 
-func (m distSMsg) SimSize() int { return 8 + m.S.SimSize() }
-
 type distTMsg struct {
 	From types.ProcessID
 	T    Pairs
 }
-
-func (m distTMsg) SimSize() int { return 8 + m.T.SimSize() }
 
 // ThreeRoundNode runs Algorithm 1 / Algorithm 2: three rounds of
 // collect-and-forward with quorum triggers, no control messages.

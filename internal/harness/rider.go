@@ -6,6 +6,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/baseline"
 	"repro/internal/coin"
@@ -306,12 +307,28 @@ func (r RiderResult) CheckAgreement(within types.Set) error {
 	if first < 0 {
 		return nil
 	}
-	for p, s := range sets {
+	// Walk processes in PID order and refs in sorted order so a violation
+	// is always attributed to the same process and vertex on every run.
+	refs := make([]dag.VertexRef, 0, len(sets[first]))
+	for ref := range sets[first] {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Round != refs[j].Round {
+			return refs[i].Round < refs[j].Round
+		}
+		return refs[i].Source < refs[j].Source
+	})
+	for _, p := range within.Members() {
+		s, ok := sets[p]
+		if !ok {
+			continue
+		}
 		if len(s) != len(sets[first]) {
 			return fmt.Errorf("agreement violated: %v delivered %d vertices ≤ wave %d, %v delivered %d",
 				p, len(s), minWave, first, len(sets[first]))
 		}
-		for ref := range sets[first] {
+		for _, ref := range refs {
 			if !s[ref] {
 				return fmt.Errorf("agreement violated: %v missing %v (wave ≤ %d)", p, ref, minWave)
 			}

@@ -59,6 +59,7 @@ func SummarizeService(res ServiceResult) ServiceStats {
 	}
 	var applied, commits int
 	var latSum float64
+	//lint:ordered commutative sums and max-latches only
 	for _, rep := range res.Replicas {
 		applied += rep.Applied
 		commits += rep.Commits

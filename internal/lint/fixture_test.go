@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// wantRe matches one expectation in a fixture file: // want `regex`
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// runFixture loads ./testdata/<dir>, runs one analyzer, and checks the
+// diagnostics against the fixture's want comments: every diagnostic must
+// match a want on its line, and every want must be hit.
+func runFixture(t *testing.T, analyzer *Analyzer, dir string) {
+	t.Helper()
+	prog, err := Load(".", "./testdata/"+dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{}
+	total := 0
+	for _, pkg := range prog.Packages {
+		if !strings.HasPrefix(pkg.Path, "repro/internal/lint/testdata/") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						pos := prog.Fset.Position(c.Pos())
+						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+						wants[key] = append(wants[key], &want{re: regexp.MustCompile(m[1])})
+						total++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatalf("fixture %s declares no expectations", dir)
+	}
+
+	for _, d := range Run(prog, []*Analyzer{analyzer}) {
+		if !strings.Contains(d.Pos.Filename, "/testdata/") {
+			t.Errorf("diagnostic outside the fixture (the loaded tree packages should be clean): %s", d)
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q was not reported", key, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, DeterminismAnalyzer, "det") }
+
+func TestWireFixture(t *testing.T) {
+	ExtraTagRanges["repro/internal/lint/testdata/wire"] = wire.TagRange{Lo: 900, Hi: 909}
+	defer delete(ExtraTagRanges, "repro/internal/lint/testdata/wire")
+	runFixture(t, WireAnalyzer, "wire")
+}
+
+func TestSizerFixture(t *testing.T) { runFixture(t, SizerAnalyzer, "sizer") }

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SizerAnalyzer flags types that implement sim.Sizer while also having a
+// registered wire codec. sim.MessageSize always prefers the codec, so
+// such a SimSize is either dead code whose figure can silently diverge
+// from the real encoding, or a deliberate fallback for codecs that can
+// report unencodable — the deliberate case carries a
+// //lint:sizer-fallback annotation on the method. See doc.go.
+var SizerAnalyzer = &Analyzer{
+	Name: "asymsizer",
+	Doc:  "flags sim.Sizer implementations shadowed by an authoritative wire codec",
+	Run:  runSizer,
+}
+
+func runSizer(pass *Pass) {
+	registered := map[string]Registration{}
+	for _, r := range pass.Prog.registrations() {
+		registered[r.TypeKey] = r
+	}
+	forEachFuncDecl(pass.Pkg, func(fd *ast.FuncDecl) {
+		if fd.Name.Name != "SimSize" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			return
+		}
+		fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			return
+		}
+		if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+			return
+		}
+		recv := sig.Recv().Type()
+		// The registered dynamic type may be the value or the pointer
+		// form; either shadows this Sizer for messages of that form.
+		base := recv
+		if p, ok := recv.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		reg, ok := registered[typeKey(base)]
+		if !ok {
+			reg, ok = registered["*"+typeKey(base)]
+		}
+		if !ok {
+			return
+		}
+		if docDirective(fd.Doc, "sizer-fallback") || pass.Pkg.directiveAt(pass.Prog.Fset, fd.Pos(), "sizer-fallback") {
+			return
+		}
+		pass.Reportf(fd.Pos(),
+			"%s implements sim.Sizer but its wire codec (tag %d) is authoritative for sim.MessageSize: the SimSize figure can silently diverge from real wire bytes; delete it, or annotate //lint:sizer-fallback <why the approximation is still consulted>", typeKey(recv), reg.Tag)
+	})
+}

@@ -174,6 +174,7 @@ func (r *Register) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bo
 		if senders.HasQuorum() {
 			// Select the highest-timestamped value and write it back.
 			best := readReplyMsg{Ts: -1}
+			//lint:ordered max-by-timestamp; the single writer issues unique timestamps, so among correct replies the max is unique (forgery is excluded by the signature model, see the package comment)
 			for _, rep := range replies {
 				if rep.Ts > best.Ts {
 					best = rep

@@ -1,0 +1,110 @@
+// Binary wire codec registration for the register messages (see
+// internal/wire for the frame layout and tag-range assignments).
+//
+// A value-carrying body is [uvarint op][uvarint ts][uvarint len + val];
+// an ack/query body is just [uvarint op]. Timestamps are non-negative at
+// correct processes (the writer counts up from zero); a negative
+// timestamp — constructible only by an in-simulation Byzantine replica —
+// is reported as unencodable rather than panicking the encoder.
+package register
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Wire tags (range 80–89, assigned in internal/wire's central table).
+const (
+	wireTagWrite        = 80
+	wireTagWriteAck     = 81
+	wireTagRead         = 82
+	wireTagReadReply    = 83
+	wireTagWriteBack    = 84
+	wireTagWriteBackAck = 85
+)
+
+// maxWireTs bounds timestamps accepted off the wire (one write per
+// timestamp keeps honest values far below this).
+const maxWireTs = 1 << 40
+
+func init() { registerWireCodecs() }
+
+// registerOpMsg registers a message whose body is a single operation id.
+func registerOpMsg(tag uint64, prototype any, get func(any) uint64, build func(uint64) any) {
+	wire.Register(tag, prototype, wire.Codec{
+		Size: func(msg any) (int, bool) { return wire.UvarintSize(get(msg)), true },
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			return wire.AppendUvarint(dst, get(msg)), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			op, rest, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, b, fmt.Errorf("register: wire op: %w", err)
+			}
+			return build(op), rest, nil
+		},
+	})
+}
+
+// registerValueMsg registers a message carrying (op, ts, val).
+func registerValueMsg(tag uint64, prototype any,
+	get func(any) (uint64, int64, string), build func(uint64, int64, string) any) {
+	wire.Register(tag, prototype, wire.Codec{
+		Size: func(msg any) (int, bool) {
+			op, ts, val := get(msg)
+			if ts < 0 {
+				return 0, false
+			}
+			return wire.UvarintSize(op) + wire.UvarintSize(uint64(ts)) + wire.StringSize(val), true
+		},
+		Append: func(dst []byte, msg any) ([]byte, error) {
+			op, ts, val := get(msg)
+			if ts < 0 {
+				return nil, fmt.Errorf("register: negative timestamp %d", ts)
+			}
+			dst = wire.AppendUvarint(dst, op)
+			dst = wire.AppendUvarint(dst, uint64(ts))
+			return wire.AppendString(dst, val), nil
+		},
+		Decode: func(b []byte) (any, []byte, error) {
+			op, rest, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, b, fmt.Errorf("register: wire op: %w", err)
+			}
+			ts, rest, err := wire.ReadUvarint(rest)
+			if err != nil {
+				return nil, b, fmt.Errorf("register: wire ts: %w", err)
+			}
+			if ts > maxWireTs {
+				return nil, b, fmt.Errorf("register: wire ts %d out of range", ts)
+			}
+			val, rest, err := wire.ReadString(rest)
+			if err != nil {
+				return nil, b, fmt.Errorf("register: wire val: %w", err)
+			}
+			return build(op, int64(ts), val), rest, nil
+		},
+	})
+}
+
+func registerWireCodecs() {
+	registerValueMsg(wireTagWrite, writeMsg{},
+		func(m any) (uint64, int64, string) { w := m.(writeMsg); return w.Op, w.Ts, w.Val },
+		func(op uint64, ts int64, val string) any { return writeMsg{Op: op, Ts: ts, Val: val} })
+	registerValueMsg(wireTagReadReply, readReplyMsg{},
+		func(m any) (uint64, int64, string) { w := m.(readReplyMsg); return w.Op, w.Ts, w.Val },
+		func(op uint64, ts int64, val string) any { return readReplyMsg{Op: op, Ts: ts, Val: val} })
+	registerValueMsg(wireTagWriteBack, writeBackMsg{},
+		func(m any) (uint64, int64, string) { w := m.(writeBackMsg); return w.Op, w.Ts, w.Val },
+		func(op uint64, ts int64, val string) any { return writeBackMsg{Op: op, Ts: ts, Val: val} })
+	registerOpMsg(wireTagWriteAck, writeAckMsg{},
+		func(m any) uint64 { return m.(writeAckMsg).Op },
+		func(op uint64) any { return writeAckMsg{Op: op} })
+	registerOpMsg(wireTagRead, readMsg{},
+		func(m any) uint64 { return m.(readMsg).Op },
+		func(op uint64) any { return readMsg{Op: op} })
+	registerOpMsg(wireTagWriteBackAck, writeBackAckMsg{},
+		func(m any) uint64 { return m.(writeBackAckMsg).Op },
+		func(op uint64) any { return writeBackAckMsg{Op: op} })
+}

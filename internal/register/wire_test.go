@@ -1,0 +1,52 @@
+package register
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	msgs := []any{
+		writeMsg{Op: 7, Ts: 3, Val: "v3"},
+		writeAckMsg{Op: 7},
+		readMsg{Op: 8},
+		readReplyMsg{Op: 8, Ts: 3, Val: "v3"},
+		writeBackMsg{Op: 8, Ts: 3, Val: "v3"},
+		writeBackAckMsg{Op: 8},
+		readReplyMsg{Op: 9}, // zero timestamp and empty value
+	}
+	for _, msg := range msgs {
+		if !wire.Registered(msg) {
+			t.Fatalf("%T not registered", msg)
+		}
+		b, err := wire.Marshal(msg)
+		if err != nil {
+			t.Fatalf("marshal %#v: %v", msg, err)
+		}
+		got, rest, err := wire.Decode(b)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", msg, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode %#v left %d trailing bytes", msg, len(rest))
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip: got %#v, want %#v", got, msg)
+		}
+	}
+}
+
+// TestWireRejectsNegativeTimestamp checks the Byzantine edge: a reply
+// forged with a negative timestamp is reported as unencodable instead of
+// panicking the encoder.
+func TestWireRejectsNegativeTimestamp(t *testing.T) {
+	bad := readReplyMsg{Op: 1, Ts: -1, Val: "x"}
+	if _, ok := wire.EncodedSize(bad); ok {
+		t.Error("EncodedSize accepted a negative timestamp")
+	}
+	if _, err := wire.Marshal(bad); err == nil {
+		t.Error("Marshal accepted a negative timestamp")
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -21,7 +22,15 @@ func CompareSnapshots(res Result) (int, error) {
 	}
 	byWave := map[int]point{}
 	common := 0
-	for p, rep := range res.Replicas {
+	// Walk replicas in PID order so the wave's reference snapshot (and the
+	// pair named in any error) is the same on every run.
+	pids := make([]types.ProcessID, 0, len(res.Replicas))
+	for p := range res.Replicas {
+		pids = append(pids, p)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, p := range pids {
+		rep := res.Replicas[p]
 		for _, s := range rep.Snapshots {
 			prev, ok := byWave[s.Wave]
 			if !ok {

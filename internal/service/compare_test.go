@@ -1,0 +1,44 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestCompareSnapshotsAttributionDeterministic pins which replica pair a
+// snapshot divergence is attributed to: replicas are walked in PID order,
+// so the reference snapshot for a wave always comes from the lowest PID
+// that recorded one, and the error names that replica plus the next
+// mismatching PID. Before the sorted walk, map iteration order picked
+// the reference, so the same divergent run could report different pairs
+// (and different applied counts) on different executions.
+func TestCompareSnapshotsAttributionDeterministic(t *testing.T) {
+	res := Result{Replicas: map[types.ProcessID]*Report{
+		0: {Snapshots: []Snapshot{{Wave: 1, Applied: 10, State: []byte("s10")}}},
+		1: {Snapshots: []Snapshot{{Wave: 1, Applied: 11, State: []byte("s11")}}},
+		2: {Snapshots: []Snapshot{{Wave: 1, Applied: 12, State: []byte("s12")}}},
+	}}
+	var first string
+	for i := 0; i < 50; i++ {
+		common, err := CompareSnapshots(res)
+		if err == nil {
+			t.Fatal("divergence not detected")
+		}
+		if common != 1 {
+			t.Fatalf("comparisons before failure = %d, want 1 (replica 0 vs 1)", common)
+		}
+		if i == 0 {
+			first = err.Error()
+			// ProcessID's Stringer is 1-based: PID 0 prints as p1.
+			if !strings.Contains(first, "replica p1 applied 10, replica p2 applied 11") {
+				t.Errorf("divergence attributed unexpectedly: %s", first)
+			}
+			continue
+		}
+		if err.Error() != first {
+			t.Fatalf("attribution changed between runs:\n%s\n%s", first, err)
+		}
+	}
+}

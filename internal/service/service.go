@@ -62,6 +62,8 @@ import (
 // one tick per replica is in flight at any time: each tick is re-armed
 // only while being processed, so buffered churn replay cannot fork the
 // chain (the Seq guard additionally absorbs duplication faults).
+//
+//lint:unwired self-addressed replica heartbeat; never crosses a wire
 type tickMsg struct {
 	Seq uint64
 }

@@ -1,0 +1,34 @@
+package wire
+
+import "testing"
+
+// TestTagRangesWellFormed checks the central tag-range table the asymwire
+// analyzer enforces: every range is ordered, stays below the
+// test-reserved band, and is disjoint from every other package's range.
+func TestTagRangesWellFormed(t *testing.T) {
+	type claim struct {
+		pkg string
+		r   TagRange
+	}
+	var claims []claim
+	for pkg, r := range TagRanges {
+		claims = append(claims, claim{pkg, r})
+	}
+	for _, c := range claims {
+		if c.r.Lo > c.r.Hi {
+			t.Errorf("%s: inverted range [%d, %d]", c.pkg, c.r.Lo, c.r.Hi)
+		}
+		if c.r.Hi >= TestTagFloor {
+			t.Errorf("%s: range [%d, %d] reaches the test-reserved band (>= %d)",
+				c.pkg, c.r.Lo, c.r.Hi, TestTagFloor)
+		}
+	}
+	for i, a := range claims {
+		for _, b := range claims[i+1:] {
+			if a.r.Lo <= b.r.Hi && b.r.Lo <= a.r.Hi {
+				t.Errorf("ranges overlap: %s [%d, %d] and %s [%d, %d]",
+					a.pkg, a.r.Lo, a.r.Hi, b.pkg, b.r.Lo, b.r.Hi)
+			}
+		}
+	}
+}

@@ -65,6 +65,37 @@ const (
 // ErrTruncated reports input that ended inside a field.
 var ErrTruncated = errors.New("wire: truncated input")
 
+// TagRange is one package's half of the central tag assignment: the
+// inclusive [Lo, Hi] tag interval the package may register codecs in.
+type TagRange struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether tag falls in the range.
+func (r TagRange) Contains(tag uint64) bool { return tag >= r.Lo && tag <= r.Hi }
+
+// TestTagFloor is the first tag of the test-reserved band: non-test code
+// must register below it, test-local registrations at or above it.
+const TestTagFloor = 1000
+
+// TagRanges is the central tag-range table from the package comment, as
+// data: package import path -> assigned range. internal/lint's asymwire
+// analyzer checks every wire.Register call site against it, and
+// TestRangesDisjoint-style unit tests keep the table itself coherent.
+// Extending the protocol with a new message-bearing package means adding
+// a row here first.
+var TagRanges = map[string]TagRange{
+	"repro/internal/broadcast": {10, 19},
+	"repro/internal/gather":    {30, 39},
+	"repro/internal/core":      {40, 44},
+	"repro/internal/coin":      {45, 49},
+	"repro/internal/rider":     {50, 59},
+	"repro/internal/transport": {60, 69},
+	"repro/internal/abba":      {70, 74},
+	"repro/internal/acs":       {75, 79},
+	"repro/internal/register":  {80, 89},
+}
+
 // Codec describes how one message type encodes. All three functions
 // receive the message boxed as `any` with the registered dynamic type.
 type Codec struct {
