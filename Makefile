@@ -6,7 +6,7 @@ GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 BENCH_OUT ?= BENCH_$(DATE).json
 
-.PHONY: all build test vet lint bench benchcmp transportbench search scenarios soak clean
+.PHONY: all build test vet lint fuzz bench benchcmp transportbench search scenarios soak clean
 
 # (test already vets, so all doesn't list vet separately)
 all: build test
@@ -24,11 +24,27 @@ test: scenarios lint
 	$(GO) test -race ./...
 
 # Repository-specific static analysis: the internal/lint analyzers
-# (asymdeterminism, asymwire, asymsizer — see internal/lint's package
-# comment for the contracts) over the whole tree, plus stock go vet.
+# (asymdeterminism, asymwire, asymsizer, asymbound, asymshare, asymgc —
+# see internal/lint's package comment for the contracts) over the whole
+# tree, plus stock go vet. The content-hash cache makes repeat runs skip
+# unchanged packages; delete .asymvet-cache.json (untracked) to force a
+# cold run.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/asymvet ./...
+	$(GO) run ./cmd/asymvet -cache .asymvet-cache.json ./...
+
+# Coverage-guided fuzzing of the byte-level attack surface: the wire
+# bounded-decode primitives, the tagged top-level decoder, and the
+# transport frame reader / hello parser / batch-body walker. Each
+# target's seed corpus also runs as a plain test in `make test`;
+# FUZZTIME bounds each target here.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzReadPrimitives$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/transport -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/transport -run='^$$' -fuzz='^FuzzParseHello$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/transport -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=$(FUZZTIME)
 
 # Sweep every built-in adversarial scenario (internal/scenario) over a few
 # seeds and check each one's declared Definition 4.1 properties; bounded to

@@ -88,6 +88,11 @@ type Node struct {
 	round    int
 	estimate int
 
+	// An ABBA instance decides one binary value and is then discarded
+	// whole by its owner (acs starts n instances per run); the round count
+	// until termination is expected O(1) under the common coin, so the map
+	// is bounded by instance lifetime, not by a watermark.
+	//lint:retained one-shot instance, discarded whole after decision; expected O(1) rounds
 	rounds map[int]*roundState
 
 	decided  bool

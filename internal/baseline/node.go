@@ -50,10 +50,17 @@ type Node struct {
 	buffer []*dag.Vertex
 
 	decidedWave int
-	delivered   map[dag.VertexRef]bool
+	// The baseline is the deliberately naive reference implementation the
+	// optimized core is differential-tested against; it retains all
+	// history so runs can be compared delivery-by-delivery, and it is
+	// never run long-lived.
+	//lint:retained reference implementation, retains full history for differential tests
+	delivered map[dag.VertexRef]bool
 
+	//lint:retained reference implementation, retains full history for differential tests
 	deliveries []rider.Delivery
-	commits    []rider.CommitEvent
+	//lint:retained reference implementation, retains full history for differential tests
+	commits []rider.CommitEvent
 }
 
 var _ sim.Node = (*Node)(nil)

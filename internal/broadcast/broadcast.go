@@ -70,6 +70,13 @@ type Broadcaster interface {
 	// Handle processes a network message, returning true if the message
 	// belonged to this broadcaster.
 	Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool
+	// PruneBelow discards per-slot state for every slot with sequence
+	// number below seq and drops late messages for such slots — the
+	// bounded-memory GC hook (see Reliable.PruneBelow for the trade).
+	PruneBelow(seq uint64)
+	// SlotCount reports the number of slots with live per-slot state (a
+	// bounded-memory soak counter).
+	SlotCount() int
 }
 
 func payloadSize(p Payload) int {
@@ -237,6 +244,9 @@ type Consistent struct {
 	trust   quorum.Assumption
 	deliver Deliver
 	slots   map[Slot]*cbSlot
+	// pruned is the slot-sequence watermark set by PruneBelow, exactly as
+	// in Reliable: slots below it are dropped on arrival.
+	pruned uint64
 }
 
 type cbSlot struct {
@@ -264,6 +274,9 @@ func (c *Consistent) Handle(env sim.Env, from types.ProcessID, msg sim.Message) 
 		if m.Slot.Src != from {
 			return true
 		}
+		if m.Slot.Seq < c.pruned {
+			return true // slot already garbage-collected
+		}
 		st := c.slot(m.Slot)
 		if st.sentEcho {
 			return true
@@ -271,6 +284,9 @@ func (c *Consistent) Handle(env sim.Env, from types.ProcessID, msg sim.Message) 
 		st.sentEcho = true
 		env.Broadcast(echoMsg{Slot: m.Slot, Payload: m.Payload})
 	case echoMsg:
+		if m.Slot.Seq < c.pruned {
+			return true
+		}
 		st := c.slot(m.Slot)
 		key := m.Payload.Key()
 		t, ok := st.echoes[key]
@@ -310,6 +326,10 @@ type Plain struct {
 	self      types.ProcessID
 	deliver   Deliver
 	delivered map[Slot]bool
+	// pruned is the slot-sequence watermark set by PruneBelow: delivered
+	// markers below it are discarded, and late copies of such slots are
+	// dropped rather than re-delivered.
+	pruned uint64
 }
 
 var _ Broadcaster = (*Plain)(nil)
@@ -332,6 +352,9 @@ func (p *Plain) Handle(env sim.Env, from types.ProcessID, msg sim.Message) bool 
 	}
 	if m.Slot.Src != from {
 		return true
+	}
+	if m.Slot.Seq < p.pruned {
+		return true // below the GC watermark: already delivered and pruned
 	}
 	if p.delivered[m.Slot] {
 		return true
@@ -365,6 +388,44 @@ func (r *Reliable) PruneBelow(seq uint64) {
 // SlotCount returns the number of slots with live tracker state (a
 // bounded-memory soak counter).
 func (r *Reliable) SlotCount() int { return len(r.slots) }
+
+// PruneBelow discards per-slot echo trackers below the watermark; the
+// semantics match Reliable.PruneBelow (late messages for pruned slots
+// are dropped, catch-up is state transfer's job).
+func (c *Consistent) PruneBelow(seq uint64) {
+	if seq <= c.pruned {
+		return
+	}
+	c.pruned = seq
+	for s := range c.slots {
+		if s.Seq < seq {
+			delete(c.slots, s)
+		}
+	}
+}
+
+// SlotCount returns the number of slots with live tracker state.
+func (c *Consistent) SlotCount() int { return len(c.slots) }
+
+// PruneBelow discards delivered-slot markers below the watermark. For
+// Plain the marker is the only per-slot state, and dropping it is safe
+// exactly because late copies below the watermark are dropped in Handle
+// instead of consulting the map (otherwise pruning would reopen the
+// at-most-once delivery guarantee to stale duplicates).
+func (p *Plain) PruneBelow(seq uint64) {
+	if seq <= p.pruned {
+		return
+	}
+	p.pruned = seq
+	for s := range p.delivered {
+		if s.Seq < seq {
+			delete(p.delivered, s)
+		}
+	}
+}
+
+// SlotCount returns the number of slots with a live delivered marker.
+func (p *Plain) SlotCount() int { return len(p.delivered) }
 
 // EquivocateSend lets tests and adversarial nodes inject a conflicting SEND
 // for a slot directly to one recipient, bypassing the Broadcaster API. Only

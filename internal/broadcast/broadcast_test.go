@@ -2,6 +2,7 @@ package broadcast
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/quorum"
@@ -354,5 +355,73 @@ func TestConsistentBroadcastEquivocation(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// pruneEnv is a minimal sim.Env for driving Handle directly in unit
+// tests: sends are discarded, time is fixed.
+type pruneEnv struct {
+	self types.ProcessID
+	n    int
+}
+
+func (e pruneEnv) Self() types.ProcessID             { return e.self }
+func (e pruneEnv) N() int                            { return e.n }
+func (e pruneEnv) Now() sim.VirtualTime              { return 0 }
+func (e pruneEnv) Send(types.ProcessID, sim.Message) {}
+func (e pruneEnv) Broadcast(sim.Message)             {}
+func (e pruneEnv) Rand() *rand.Rand                  { return rand.New(rand.NewSource(1)) }
+
+// TestPruneBelowAllBroadcasters pins the bounded-memory contract for all
+// three primitives uniformly: slots below the watermark are discarded,
+// late messages for pruned slots are dropped without resurrecting state
+// or re-delivering, and slots at/above the watermark survive.
+// (Regression: Consistent and Plain used to have no prune path at all,
+// so their per-slot maps grew for the lifetime of the node.)
+func TestPruneBelowAllBroadcasters(t *testing.T) {
+	trust := quorum.NewThreshold(4, 1)
+	cases := []struct {
+		name string
+		mk   func(deliver Deliver) Broadcaster
+	}{
+		{"Reliable", func(d Deliver) Broadcaster { return NewReliable(0, trust, d) }},
+		{"Consistent", func(d Deliver) Broadcaster { return NewConsistent(0, trust, d) }},
+		{"Plain", func(d Deliver) Broadcaster { return NewPlain(0, d) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deliveries := 0
+			bc := tc.mk(func(sim.Env, Slot, Payload) { deliveries++ })
+			env := pruneEnv{self: 0, n: 4}
+			// Open per-slot state for seqs 0..4 from sender 1.
+			for seq := uint64(0); seq < 5; seq++ {
+				for from := types.ProcessID(1); from < 2; from++ {
+					bc.Handle(env, from, sendMsg{Slot: Slot{Src: 1, Seq: seq}, Payload: Bytes("x")})
+				}
+			}
+			if got := bc.SlotCount(); got != 5 {
+				t.Fatalf("before prune: SlotCount = %d, want 5", got)
+			}
+			bc.PruneBelow(3)
+			if got := bc.SlotCount(); got != 2 {
+				t.Fatalf("after PruneBelow(3): SlotCount = %d, want 2", got)
+			}
+			delivered := deliveries
+			// A late message for a pruned slot must not reopen state or
+			// deliver again.
+			bc.Handle(env, 1, sendMsg{Slot: Slot{Src: 1, Seq: 1}, Payload: Bytes("x")})
+			bc.Handle(env, 1, echoMsg{Slot: Slot{Src: 1, Seq: 1}, Payload: Bytes("x")})
+			if got := bc.SlotCount(); got != 2 {
+				t.Fatalf("late message reopened pruned slot: SlotCount = %d, want 2", got)
+			}
+			if deliveries != delivered {
+				t.Fatalf("late message below the watermark was re-delivered")
+			}
+			// The watermark only ratchets forward.
+			bc.PruneBelow(1)
+			if got := bc.SlotCount(); got != 2 {
+				t.Fatalf("PruneBelow moved backwards: SlotCount = %d, want 2", got)
+			}
+		})
 	}
 }

@@ -148,8 +148,13 @@ type Node struct {
 	decidedWave int
 	delivered   map[dag.VertexRef]bool
 
+	// deliveries/commits accumulate only when the corresponding sink is
+	// nil — the short-run/test configuration; long-lived service runs set
+	// DeliverySink/CommitSink and these stay empty.
+	//lint:retained only populated when DeliverySink is nil (test/short-run mode)
 	deliveries []rider.Delivery
-	commits    []rider.CommitEvent
+	//lint:retained only populated when CommitSink is nil (test/short-run mode)
+	commits []rider.CommitEvent
 
 	// acked tracks which round-2 vertices were already acknowledged, so
 	// buffered vertices are not ACKed twice.

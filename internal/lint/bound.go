@@ -1,0 +1,651 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BoundAnalyzer enforces the allocation-bomb contract: an integer read
+// off the wire (binary.Uvarint / ByteOrder.UintNN and everything built
+// on them, e.g. wire.ReadUvarint) must be compared against a cap before
+// it reaches an allocation size, an index, a slice bound, or a loop
+// bound. wire.ReadInt is the blessed sanitizing primitive; its guard is
+// recognized compositionally, not by name. See doc.go.
+var BoundAnalyzer = &Analyzer{
+	Name: "asymbound",
+	Doc:  "flags wire-derived integers flowing unchecked into make sizes, indexing, slice bounds, or loop bounds",
+	Run:  runBound,
+}
+
+func runBound(pass *Pass) {
+	fg := pass.Prog.flow()
+	consumed := map[string]bool{}
+	forEachFuncDecl(pass.Pkg, func(fd *ast.FuncDecl) {
+		fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		tw := newTaintWalker(fg, &flowFunc{decl: fd, pkg: pass.Pkg, fn: fn}, pass)
+		tw.consumed = consumed
+		tw.walkFunc()
+	})
+	for _, key := range pass.Pkg.directiveLines() {
+		for _, e := range pass.Pkg.directives[key] {
+			if e.Name == "bounded" && !consumed[key] {
+				pass.Reportf(e.Pos, "unused //lint:bounded directive: no unchecked wire-derived value reaches a sink on this or the following line")
+			}
+		}
+	}
+}
+
+// taintVal is the abstract value of one local: which of the enclosing
+// function's parameters flow into it unchecked (a bitset, for the
+// compositional summary) and whether a wire-read source flows into it
+// (the thing asymbound reports).
+type taintVal struct {
+	params  uint64
+	src     bool
+	srcDesc string
+}
+
+func (t taintVal) tainted() bool { return t.src || t.params != 0 }
+
+func (t taintVal) union(o taintVal) taintVal {
+	out := taintVal{params: t.params | o.params, src: t.src || o.src, srcDesc: t.srcDesc}
+	if !t.src && o.src {
+		out.srcDesc = o.srcDesc
+	}
+	return out
+}
+
+// taintWalker runs the bound/taint analysis over one function body. The
+// same walk serves two modes: with pass == nil it computes the
+// function's summary (results, sink params, call edges); with a pass it
+// reports source-origin taint reaching a sink. The analysis is
+// flow-sensitive within the body (statements in source order), path-
+// insensitive (a comparison anywhere sanitizes for the rest of the
+// function), and container-insensitive (values read back out of
+// struct fields, slices, and maps are clean — the contract is that raw
+// wire integers are checked at the decode boundary, before storage).
+type taintWalker struct {
+	fg   *flowGraph
+	ff   *flowFunc
+	pass *Pass
+
+	state      map[types.Object]taintVal
+	namedRes   []types.Object
+	results    []resultFact
+	sinkParams uint64
+	sinkNotes  map[int]string
+	calls      map[string]bool
+	consumed   map[string]bool
+}
+
+func newTaintWalker(fg *flowGraph, ff *flowFunc, pass *Pass) *taintWalker {
+	return &taintWalker{
+		fg: fg, ff: ff, pass: pass,
+		state:     map[types.Object]taintVal{},
+		sinkNotes: map[int]string{},
+		calls:     map[string]bool{},
+	}
+}
+
+func (tw *taintWalker) walkFunc() {
+	fd := tw.ff.decl
+	for i, obj := range paramObjects(tw.ff.pkg, fd) {
+		if obj == nil || i >= 64 {
+			continue
+		}
+		tw.state[obj] = taintVal{params: 1 << i}
+	}
+	var n int
+	tw.namedRes, n = resultObjects(tw.ff.pkg, fd)
+	tw.results = make([]resultFact, n)
+	tw.walkStmt(fd.Body)
+}
+
+func (tw *taintWalker) sortedCalls() []string {
+	out := make([]string, 0, len(tw.calls))
+	for k := range tw.calls {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sink records taint arriving at a sink: parameter-origin taint becomes
+// part of the summary (the caller reports); source-origin taint is the
+// finding itself, reported here unless a //lint:bounded directive is
+// attached to the sink's line.
+func (tw *taintWalker) sink(pos token.Pos, what string, t taintVal) {
+	for i := 0; i < 64; i++ {
+		if t.params&(1<<i) != 0 {
+			tw.sinkParams |= 1 << i
+			if _, ok := tw.sinkNotes[i]; !ok {
+				tw.sinkNotes[i] = what
+			}
+		}
+	}
+	if !t.src || tw.pass == nil {
+		return
+	}
+	fset := tw.pass.Prog.Fset
+	if tw.ff.pkg.directiveAt(fset, pos, "bounded") {
+		if tw.consumed != nil {
+			for _, key := range directiveKeys(fset, pos) {
+				for _, e := range tw.ff.pkg.directives[key] {
+					if e.Name == "bounded" {
+						tw.consumed[key] = true
+					}
+				}
+			}
+		}
+		return
+	}
+	tw.pass.Reportf(pos,
+		"unchecked wire-derived value (%s) reaches %s: a Byzantine peer controls it, so compare it against a cap first (wire.ReadInt-style) or annotate //lint:bounded <why it is already bounded>", t.srcDesc, what)
+}
+
+// sanitize marks every tracked identifier appearing in a branch
+// condition as checked: the code inspected the value, which is the
+// contract's requirement. Deliberately coarse — see doc.go.
+func (tw *taintWalker) sanitize(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := tw.ff.pkg.Info.ObjectOf(id); obj != nil {
+				if _, tracked := tw.state[obj]; tracked {
+					tw.state[obj] = taintVal{}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopBoundSinks reports tainted identifiers used in a for-condition —
+// the loop-bound sink. Unlike an if-condition, a loop condition IS the
+// consumption: `for i := 0; i < n; i++ { s = append(s, ...) }` with an
+// unchecked n is the allocation bomb, not a guard against one.
+func (tw *taintWalker) loopBoundSinks(cond ast.Expr) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := tw.ff.pkg.Info.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		if t := tw.state[obj]; t.tainted() {
+			tw.sink(id.Pos(), "a loop bound", t)
+		}
+		return true
+	})
+}
+
+func (tw *taintWalker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		tw.walkStmt(s)
+	}
+}
+
+func (tw *taintWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		tw.walkStmts(s.List)
+	case *ast.ExprStmt:
+		tw.eval(s.X)
+	case *ast.AssignStmt:
+		tw.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				tw.assignSpec(vs)
+			}
+		}
+	case *ast.ReturnStmt:
+		tw.walkReturn(s)
+	case *ast.IfStmt:
+		tw.walkStmt(s.Init)
+		tw.eval(s.Cond)
+		tw.sanitize(s.Cond)
+		tw.walkStmt(s.Body)
+		tw.walkStmt(s.Else)
+	case *ast.ForStmt:
+		tw.walkStmt(s.Init)
+		if s.Cond != nil {
+			tw.eval(s.Cond)
+			tw.loopBoundSinks(s.Cond)
+			tw.sanitize(s.Cond)
+		}
+		tw.walkStmt(s.Post)
+		tw.walkStmt(s.Body)
+	case *ast.RangeStmt:
+		t := tw.eval(s.X)
+		if t.tainted() {
+			if xt := tw.ff.pkg.Info.TypeOf(s.X); xt != nil {
+				if b, ok := xt.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					tw.sink(s.X.Pos(), "a loop bound (range over integer)", t)
+				}
+			}
+		}
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+				if obj := tw.ff.pkg.Info.ObjectOf(id); obj != nil {
+					tw.state[obj] = taintVal{}
+				}
+			}
+		}
+		tw.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		tw.walkStmt(s.Init)
+		if s.Tag != nil {
+			tw.eval(s.Tag)
+			tw.sanitize(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CaseClause)
+			for _, e := range c.List {
+				tw.eval(e)
+				tw.sanitize(e)
+			}
+			tw.walkStmts(c.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		tw.walkStmt(s.Init)
+		tw.walkStmt(s.Assign)
+		for _, cc := range s.Body.List {
+			tw.walkStmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			tw.walkStmt(c.Comm)
+			tw.walkStmts(c.Body)
+		}
+	case *ast.LabeledStmt:
+		tw.walkStmt(s.Stmt)
+	case *ast.GoStmt:
+		tw.eval(s.Call)
+	case *ast.DeferStmt:
+		tw.eval(s.Call)
+	case *ast.SendStmt:
+		tw.eval(s.Chan)
+		tw.eval(s.Value)
+	case *ast.IncDecStmt:
+		tw.eval(s.X)
+	}
+}
+
+func (tw *taintWalker) walkReturn(s *ast.ReturnStmt) {
+	switch {
+	case len(s.Results) == 0:
+		for i, obj := range tw.namedRes {
+			if obj != nil && i < len(tw.results) {
+				tw.mergeResult(i, tw.state[obj])
+			}
+		}
+	case len(s.Results) == len(tw.results):
+		for i, e := range s.Results {
+			tw.mergeResult(i, tw.eval(e))
+		}
+	case len(s.Results) == 1:
+		// return f() forwarding a multi-result call
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			for i, t := range tw.evalCall(call) {
+				if i < len(tw.results) {
+					tw.mergeResult(i, t)
+				}
+			}
+		} else {
+			tw.eval(s.Results[0])
+		}
+	default:
+		for _, e := range s.Results {
+			tw.eval(e)
+		}
+	}
+}
+
+func (tw *taintWalker) mergeResult(i int, t taintVal) {
+	tw.results[i].FromSource = tw.results[i].FromSource || t.src
+	tw.results[i].FromParams |= t.params
+}
+
+func (tw *taintWalker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		vals := tw.rhsValues(s.Lhs, s.Rhs)
+		for i, lhs := range s.Lhs {
+			tw.assignTo(lhs, vals[i])
+		}
+	default:
+		// Compound assignment: x op= y keeps x's taint and unions y's
+		// (order-insensitive for the taint lattice).
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			t := tw.eval(s.Lhs[0]).union(tw.eval(s.Rhs[0]))
+			tw.assignTo(s.Lhs[0], t)
+		}
+	}
+}
+
+func (tw *taintWalker) assignSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	lhs := make([]ast.Expr, len(vs.Names))
+	for i, n := range vs.Names {
+		lhs[i] = n
+	}
+	vals := tw.rhsValues(lhs, vs.Values)
+	for i, l := range lhs {
+		tw.assignTo(l, vals[i])
+	}
+}
+
+// rhsValues evaluates the right-hand side of an assignment, expanding a
+// single multi-result call across the left-hand side.
+func (tw *taintWalker) rhsValues(lhs, rhs []ast.Expr) []taintVal {
+	vals := make([]taintVal, len(lhs))
+	if len(rhs) == len(lhs) {
+		for i, e := range rhs {
+			vals[i] = tw.eval(e)
+		}
+		return vals
+	}
+	if len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			for i, t := range tw.evalCall(call) {
+				if i < len(vals) {
+					vals[i] = t
+				}
+			}
+			return vals
+		}
+		// v, ok := m[k] / x.(T) / <-ch: the carried value is a container
+		// read or channel receive — clean under container-insensitivity.
+		tw.eval(rhs[0])
+	}
+	return vals
+}
+
+func (tw *taintWalker) assignTo(lhs ast.Expr, t taintVal) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := tw.ff.pkg.Info.ObjectOf(id); obj != nil {
+			tw.state[obj] = t
+			return
+		}
+	}
+	// Writing through an index/field/pointer: the write target may itself
+	// contain a sink (buf[n] = x); the stored taint is dropped.
+	tw.eval(lhs)
+}
+
+// eval computes the taint of an expression, reporting/recording any sink
+// hits inside it along the way.
+func (tw *taintWalker) eval(e ast.Expr) taintVal {
+	pkg := tw.ff.pkg
+	switch e := e.(type) {
+	case nil:
+		return taintVal{}
+	case *ast.Ident:
+		if obj := pkg.Info.ObjectOf(e); obj != nil {
+			return tw.state[obj]
+		}
+		return taintVal{}
+	case *ast.ParenExpr:
+		return tw.eval(e.X)
+	case *ast.BinaryExpr:
+		l, r := tw.eval(e.X), tw.eval(e.Y)
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			return taintVal{} // boolean result
+		}
+		return l.union(r)
+	case *ast.UnaryExpr:
+		t := tw.eval(e.X)
+		switch e.Op {
+		case token.ADD, token.SUB, token.XOR:
+			return t
+		}
+		return taintVal{} // &x, !x, <-ch
+	case *ast.StarExpr:
+		tw.eval(e.X)
+		return taintVal{}
+	case *ast.SelectorExpr:
+		if _, isPkg := pkg.Info.Uses[e.Sel].(*types.PkgName); !isPkg {
+			tw.eval(e.X)
+		}
+		return taintVal{} // field read: container-insensitive
+	case *ast.IndexExpr:
+		if tv, ok := pkg.Info.Types[e.X]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return taintVal{} // generic instantiation, not an index
+		}
+		if _, isFn := pkg.Info.Types[e.X].Type.(*types.Signature); isFn {
+			return taintVal{} // generic function instantiation
+		}
+		tw.eval(e.X)
+		it := tw.eval(e.Index)
+		if it.tainted() && indexableByInt(pkg.Info.TypeOf(e.X)) {
+			tw.sink(e.Index.Pos(), "an index", it)
+		}
+		return taintVal{}
+	case *ast.IndexListExpr:
+		return taintVal{} // generic instantiation
+	case *ast.SliceExpr:
+		tw.eval(e.X)
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b == nil {
+				continue
+			}
+			if t := tw.eval(b); t.tainted() {
+				tw.sink(b.Pos(), "a slice bound", t)
+			}
+		}
+		return taintVal{}
+	case *ast.CallExpr:
+		out := tw.evalCall(e)
+		if len(out) > 0 {
+			return out[0]
+		}
+		return taintVal{}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				tw.eval(kv.Value)
+				continue
+			}
+			tw.eval(el)
+		}
+		return taintVal{}
+	case *ast.FuncLit:
+		tw.walkStmt(e.Body) // closures share the tracked state
+		return taintVal{}
+	case *ast.TypeAssertExpr:
+		tw.eval(e.X)
+		return taintVal{}
+	}
+	return taintVal{}
+}
+
+// indexableByInt reports whether indexing t with an attacker-chosen
+// integer can panic or touch attacker-chosen memory: slices, arrays,
+// strings — not maps (any key is a legal lookup).
+func indexableByInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// evalCall evaluates a call and returns the taint of each result.
+func (tw *taintWalker) evalCall(call *ast.CallExpr) []taintVal {
+	pkg := tw.ff.pkg
+	if isConversion(pkg, call) && len(call.Args) == 1 {
+		return []taintVal{tw.eval(call.Args[0])}
+	}
+	switch builtinName(pkg, call) {
+	case "make":
+		for _, a := range call.Args[1:] {
+			if t := tw.eval(a); t.tainted() {
+				tw.sink(a.Pos(), "a make size", t)
+			}
+		}
+		return []taintVal{{}}
+	case "min":
+		// min(n, cap) is a sanitizer when any argument is clean.
+		anyClean := false
+		out := taintVal{}
+		for _, a := range call.Args {
+			t := tw.eval(a)
+			if !t.tainted() {
+				anyClean = true
+			}
+			out = out.union(t)
+		}
+		if anyClean {
+			return []taintVal{{}}
+		}
+		return []taintVal{out}
+	case "max":
+		out := taintVal{}
+		for _, a := range call.Args {
+			out = out.union(tw.eval(a))
+		}
+		return []taintVal{out}
+	case "":
+		// not a builtin; fall through below
+	default:
+		// append/len/cap/copy/delete/clear/...: arguments may hold sinks;
+		// results are containers or real lengths — clean.
+		for _, a := range call.Args {
+			tw.eval(a)
+		}
+		return []taintVal{{}}
+	}
+
+	if desc, ok := sourceCall(pkg, call); ok {
+		for _, a := range call.Args {
+			tw.eval(a)
+		}
+		out := make([]taintVal, resultCount(pkg, call))
+		if len(out) > 0 {
+			out[0] = taintVal{src: true, srcDesc: desc}
+		}
+		return out
+	}
+
+	argTs := make([]taintVal, len(call.Args))
+	for i, a := range call.Args {
+		argTs[i] = tw.eval(a)
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return make([]taintVal, resultCount(pkg, call))
+	}
+	key := funcKeyOf(fn)
+	tw.calls[key] = true
+	ff, ok := tw.fg.funcs[key]
+	if !ok {
+		return make([]taintVal, resultCount(pkg, call))
+	}
+	for i, t := range argTs {
+		if i < 64 && ff.facts.SinkParams&(1<<uint(i)) != 0 && t.tainted() {
+			note := ff.facts.SinkNotes[i]
+			if note == "" {
+				note = "a sink"
+			}
+			tw.sink(call.Args[i].Pos(), note+" inside "+shortFuncName(fn), t)
+		}
+	}
+	out := make([]taintVal, resultCount(pkg, call))
+	for i, rf := range ff.facts.Results {
+		if i >= len(out) {
+			break
+		}
+		var t taintVal
+		if rf.FromSource {
+			t = taintVal{src: true, srcDesc: shortFuncName(fn) + " result"}
+		}
+		for p := 0; p < 64 && p < len(argTs); p++ {
+			if rf.FromParams&(1<<uint(p)) != 0 {
+				t = t.union(argTs[p])
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// sourceCall recognizes the raw wire-read primitives of encoding/binary
+// — the taint sources everything else derives from compositionally.
+// Resolution here deliberately sees through interfaces (binary.ByteOrder
+// method values).
+func sourceCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Uvarint", "Varint", "ReadUvarint", "ReadVarint",
+		"Uint16", "Uint32", "Uint64":
+		return "binary." + fn.Name(), true
+	}
+	return "", false
+}
+
+// resultCount is the number of values the call produces.
+func resultCount(pkg *Package, call *ast.CallExpr) int {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return 1
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		return tup.Len()
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return 0
+	}
+	return 1
+}
+
+// shortFuncName renders a callee for diagnostics: pkg.Func or
+// pkg.Type.Method.
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		name = typeBaseName(sig.Recv().Type()) + "." + name
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

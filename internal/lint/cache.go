@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheFormat versions the cache file layout and the fact semantics; a
+// mismatch discards the whole file. Bump it when flowFacts or an
+// analyzer contract changes shape in a way the source hash below does
+// not capture.
+const cacheFormat = "asymvet-cache-v1"
+
+// lintPkgPath is this package's own import path: its sources are hashed
+// into the cache fingerprint so editing a recognizer invalidates every
+// cached result.
+const lintPkgPath = "repro/internal/lint"
+
+// ExternalFacts carries the cross-package facts of packages the cache
+// allowed RunCached to skip re-parsing: their interprocedural dataflow
+// summaries, wire registrations, //lint:unwired type keys, GC
+// prune-site keys, and Receive-handler roots. A plain Load leaves
+// Program.external nil.
+type ExternalFacts struct {
+	Flow    map[string]flowFacts `json:"flow,omitempty"`
+	Regs    []Registration       `json:"regs,omitempty"`
+	Unwired []string             `json:"unwired,omitempty"`
+	Pruned  []string             `json:"pruned,omitempty"`
+	Roots   []string             `json:"roots,omitempty"`
+}
+
+// pkgFacts is everything one package contributes to the analysis of
+// OTHER packages. Diagnostics inside a package depend only on its own
+// syntax, its dependencies' types (both covered by the content key) and
+// this pool (covered by the global digest) — that invariant is what
+// makes replaying cached diagnostics sound.
+type pkgFacts struct {
+	Flow    map[string]flowFacts `json:"flow,omitempty"`
+	Regs    []Registration       `json:"regs,omitempty"`
+	Unwired []string             `json:"unwired,omitempty"`
+	Pruned  []string             `json:"pruned,omitempty"`
+	Roots   []string             `json:"roots,omitempty"`
+}
+
+// cacheEntry is one package's cached analysis.
+type cacheEntry struct {
+	// Key hashes the package's own sources and, transitively, its whole
+	// in-module dependency cone (plus the tool fingerprint). A match
+	// means Facts is valid.
+	Key string `json:"key"`
+	// GlobalDigest hashes the fact pool of the entire program Diags was
+	// computed against. A match (together with Key) means Diags can be
+	// replayed without re-analyzing.
+	GlobalDigest string       `json:"global"`
+	Facts        pkgFacts     `json:"facts"`
+	Diags        []Diagnostic `json:"diags,omitempty"`
+}
+
+type cacheFile struct {
+	Fingerprint string                `json:"fingerprint"`
+	Packages    map[string]cacheEntry `json:"packages"`
+}
+
+// CacheStats reports how much work RunCached skipped.
+type CacheStats struct {
+	Reused   int // packages whose cached diagnostics were replayed
+	Analyzed int // packages re-analyzed from source
+}
+
+// RunCached is Run+Load with a content-hash package cache at cachePath:
+// packages whose sources, dependency cone, and surrounding fact pool
+// are unchanged replay their cached diagnostics without being parsed.
+// A missing, corrupt, or mismatching cache file degrades to a full run.
+func RunCached(dir, cachePath string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, CacheStats, error) {
+	var stats CacheStats
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+	fp := fingerprint(analyzers, pkgs)
+	keys, order, err := contentKeys(fp, pkgs)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	prev := readCache(cachePath)
+	if prev.Fingerprint != fp {
+		prev.Packages = map[string]cacheEntry{}
+	}
+	hit := map[string]cacheEntry{}
+	miss := map[string]bool{}
+	for _, path := range order {
+		if e, ok := prev.Packages[path]; ok && e.Key == keys[path] {
+			hit[path] = e
+		} else {
+			miss[path] = true
+		}
+	}
+
+	// Fast path: every package key-matches and every entry was computed
+	// against the same fact pool — replay everything, parse nothing.
+	if len(hit) == len(order) {
+		digest := globalDigest(order, func(path string) pkgFacts { return hit[path].Facts })
+		replayAll := true
+		for _, path := range order {
+			if hit[path].GlobalDigest != digest {
+				replayAll = false
+				break
+			}
+		}
+		if replayAll {
+			var diags []Diagnostic
+			for _, path := range order {
+				diags = append(diags, hit[path].Diags...)
+			}
+			sortDiags(diags)
+			stats.Reused = len(order)
+			return diags, stats, nil
+		}
+	}
+
+	// Round 1: load the key-missed packages from source, carrying the
+	// hits as external facts, and compute the program's fact digest from
+	// the union. Facts only depend on a package's own source and its
+	// dependency cone, so cached facts of key-hits are exact.
+	prog, err := loadFromList(pkgs, miss)
+	if err != nil {
+		return nil, stats, err
+	}
+	hitSet := map[string]bool{}
+	for path := range hit {
+		hitSet[path] = true
+	}
+	// external facts must be installed before extractFacts forces the
+	// flow fixed point: the misses' summaries depend on hit callees.
+	prog.external = mergeExternal(order, hitSet, func(path string) pkgFacts { return hit[path].Facts })
+	fresh := extractFacts(prog)
+	factsOf := func(path string) pkgFacts {
+		if f, ok := fresh[path]; ok {
+			return *f
+		}
+		return hit[path].Facts
+	}
+	digest := globalDigest(order, factsOf)
+
+	// A key-hit whose stored digest disagrees has valid facts but
+	// possibly stale diagnostics (something elsewhere changed the fact
+	// pool): it must be re-analyzed too.
+	stale := map[string]bool{}
+	for path, e := range hit {
+		if e.GlobalDigest != digest {
+			stale[path] = true
+		}
+	}
+	if len(stale) > 0 {
+		source := map[string]bool{}
+		for path := range miss {
+			source[path] = true
+		}
+		for path := range stale {
+			source[path] = true
+		}
+		replayable := map[string]bool{}
+		for path := range hit {
+			if !stale[path] {
+				replayable[path] = true
+			}
+		}
+		prog, err = loadFromList(pkgs, source)
+		if err != nil {
+			return nil, stats, err
+		}
+		prog.external = mergeExternal(order, replayable, factsOf)
+		fresh = extractFacts(prog)
+		digest = globalDigest(order, factsOf)
+	}
+
+	// Analyze the source-loaded packages; replay the rest.
+	next := cacheFile{Fingerprint: fp, Packages: map[string]cacheEntry{}}
+	var diags []Diagnostic
+	analyzed := map[string][]Diagnostic{}
+	for _, pkg := range prog.Packages {
+		analyzed[pkg.Path] = runPackage(prog, pkg, analyzers)
+	}
+	for _, path := range order {
+		if d, ok := analyzed[path]; ok {
+			stats.Analyzed++
+			diags = append(diags, d...)
+			next.Packages[path] = cacheEntry{
+				Key: keys[path], GlobalDigest: digest,
+				Facts: factsOf(path), Diags: d,
+			}
+			continue
+		}
+		e := hit[path]
+		stats.Reused++
+		diags = append(diags, e.Diags...)
+		e.GlobalDigest = digest
+		next.Packages[path] = e
+	}
+	sortDiags(diags)
+	writeCache(cachePath, next)
+	return diags, stats, nil
+}
+
+// fingerprint covers everything that invalidates the whole cache: the
+// format version, the toolchain, the analyzer suite, and the sources of
+// the lint package itself (present in the listing whenever the module
+// tree is linted, which is how `make lint` runs).
+func fingerprint(analyzers []*Analyzer, pkgs []listPkg) string {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheFormat, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintln(h, a.Name)
+	}
+	for _, p := range pkgs {
+		if p.ImportPath != lintPkgPath {
+			continue
+		}
+		for _, f := range p.GoFiles {
+			b, err := os.ReadFile(filepath.Join(p.Dir, f))
+			if err != nil {
+				continue
+			}
+			sum := sha256.Sum256(b)
+			fmt.Fprintf(h, "%s %x\n", f, sum)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// contentKeys computes each module package's cache key and returns the
+// module package paths in dependency order (go list -deps emits
+// dependencies before dependents, so dep keys are always available).
+// Standard-library and out-of-module imports hash as constants: the Go
+// version in the fingerprint covers the former and this module vendors
+// nothing of the latter.
+func contentKeys(fp string, pkgs []listPkg) (map[string]string, []string, error) {
+	keys := map[string]string{}
+	var order []string
+	for _, p := range pkgs {
+		if !isModulePkg(p) {
+			keys[p.ImportPath] = "ext:" + p.ImportPath
+			continue
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		h := sha256.New()
+		fmt.Fprintln(h, fp, p.ImportPath)
+		for _, f := range p.GoFiles {
+			b, err := os.ReadFile(filepath.Join(p.Dir, f))
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: hashing %s: %v", p.ImportPath, err)
+			}
+			sum := sha256.Sum256(b)
+			fmt.Fprintf(h, "%s %x\n", f, sum)
+		}
+		for _, imp := range p.Imports {
+			fmt.Fprintf(h, "import %s %s\n", imp, keys[imp])
+		}
+		keys[p.ImportPath] = hex.EncodeToString(h.Sum(nil))
+		order = append(order, p.ImportPath)
+	}
+	return keys, order, nil
+}
+
+// extractFacts computes every source-loaded package's contribution to
+// the cross-package fact pool (forcing the flow fixed point).
+func extractFacts(prog *Program) map[string]*pkgFacts {
+	facts := map[string]*pkgFacts{}
+	for _, pkg := range prog.Packages {
+		facts[pkg.Path] = &pkgFacts{
+			Flow:    map[string]flowFacts{},
+			Regs:    packageRegistrations(pkg),
+			Unwired: packageUnwired(prog, pkg),
+			Pruned:  packagePruneSites(pkg),
+			Roots:   packageReceiveRoots(pkg),
+		}
+	}
+	fg := prog.flow()
+	for _, k := range fg.keys {
+		ff := fg.funcs[k]
+		if ff.decl == nil {
+			continue
+		}
+		facts[ff.pkg.Path].Flow[k] = ff.facts
+	}
+	return facts
+}
+
+// globalDigest hashes the whole program's fact pool. Replayed and
+// freshly extracted facts serialize identically (maps marshal with
+// sorted keys; nil and empty collections both omit), so the digest is
+// stable across cache round-trips.
+func globalDigest(paths []string, factsOf func(string) pkgFacts) string {
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, p := range sorted {
+		b, err := json.Marshal(factsOf(p))
+		if err != nil {
+			panic(fmt.Sprintf("lint: marshaling facts for %s: %v", p, err))
+		}
+		fmt.Fprintf(h, "%s %s\n", p, b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// mergeExternal pools the facts of the packages in use for injection
+// into a Program that skips loading them.
+func mergeExternal(order []string, use map[string]bool, factsOf func(string) pkgFacts) *ExternalFacts {
+	ext := &ExternalFacts{Flow: map[string]flowFacts{}}
+	for _, path := range order {
+		if !use[path] {
+			continue
+		}
+		f := factsOf(path)
+		for k, v := range f.Flow {
+			ext.Flow[k] = v
+		}
+		ext.Regs = append(ext.Regs, f.Regs...)
+		ext.Unwired = append(ext.Unwired, f.Unwired...)
+		ext.Pruned = append(ext.Pruned, f.Pruned...)
+		ext.Roots = append(ext.Roots, f.Roots...)
+	}
+	return ext
+}
+
+// packageUnwired returns the "pkgpath.TypeName" keys of the package's
+// //lint:unwired-annotated type declarations.
+func packageUnwired(prog *Program, pkg *Package) []string {
+	var out []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if docDirective(ts.Doc, "unwired") || docDirective(gd.Doc, "unwired") ||
+					pkg.directiveAt(prog.Fset, ts.Pos(), "unwired") {
+					out = append(out, pkg.Path+"."+ts.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func readCache(path string) cacheFile {
+	cf := cacheFile{Packages: map[string]cacheEntry{}}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return cf
+	}
+	if json.Unmarshal(b, &cf) != nil || cf.Packages == nil {
+		return cacheFile{Packages: map[string]cacheEntry{}}
+	}
+	return cf
+}
+
+// writeCache persists best-effort: a read-only checkout just means the
+// next run re-analyzes.
+func writeCache(path string, cf cacheFile) {
+	b, err := json.Marshal(cf)
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, b, 0o644) != nil {
+		return
+	}
+	if os.Rename(tmp, path) != nil {
+		os.Remove(tmp)
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// cacheTestPatterns is a small in-module subtree with a real dependency
+// edge (wire imports types), enough to exercise full runs, full
+// replays, and partial invalidation without type-checking the world.
+var cacheTestPatterns = []string{"./internal/wire", "./internal/types"}
+
+func runCachedHere(t *testing.T, cachePath string) ([]Diagnostic, CacheStats) {
+	t.Helper()
+	diags, stats, err := RunCached("../..", cachePath, Analyzers(), cacheTestPatterns...)
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	return diags, stats
+}
+
+func TestRunCachedReplaysUnchangedPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages")
+	}
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+
+	first, s1 := runCachedHere(t, cachePath)
+	if s1.Analyzed == 0 || s1.Reused != 0 {
+		t.Fatalf("cold run: analyzed=%d reused=%d, want all analyzed", s1.Analyzed, s1.Reused)
+	}
+
+	second, s2 := runCachedHere(t, cachePath)
+	if s2.Analyzed != 0 || s2.Reused != s1.Analyzed {
+		t.Fatalf("warm run: analyzed=%d reused=%d, want 0 and %d", s2.Analyzed, s2.Reused, s1.Analyzed)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replayed diagnostics differ:\n first %v\nsecond %v", first, second)
+	}
+}
+
+func TestRunCachedPartialInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages")
+	}
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+	first, s1 := runCachedHere(t, cachePath)
+
+	// Tamper with one package's content key: that package must be
+	// re-analyzed while the other replays (its own key and the fact
+	// pool are unchanged).
+	b, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatalf("reading cache: %v", err)
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		t.Fatalf("parsing cache: %v", err)
+	}
+	e, ok := cf.Packages["repro/internal/types"]
+	if !ok {
+		t.Fatalf("cache has no entry for repro/internal/types: %v", cf.Packages)
+	}
+	e.Key = "stale"
+	cf.Packages["repro/internal/types"] = e
+	b, _ = json.Marshal(cf)
+	if err := os.WriteFile(cachePath, b, 0o644); err != nil {
+		t.Fatalf("writing cache: %v", err)
+	}
+
+	third, s3 := runCachedHere(t, cachePath)
+	if s3.Analyzed != 1 || s3.Reused != s1.Analyzed-1 {
+		t.Fatalf("after tamper: analyzed=%d reused=%d, want 1 and %d", s3.Analyzed, s3.Reused, s1.Analyzed-1)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Fatalf("diagnostics drifted after partial re-analysis")
+	}
+
+	// And the repaired cache replays fully again.
+	_, s4 := runCachedHere(t, cachePath)
+	if s4.Analyzed != 0 {
+		t.Fatalf("cache did not repair itself: analyzed=%d", s4.Analyzed)
+	}
+}
+
+func TestRunCachedSurvivesCorruptCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages")
+	}
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+	first, _ := runCachedHere(t, cachePath)
+
+	if err := os.WriteFile(cachePath, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatalf("corrupting cache: %v", err)
+	}
+	again, s := runCachedHere(t, cachePath)
+	if s.Reused != 0 {
+		t.Fatalf("corrupt cache must not be trusted: reused=%d", s.Reused)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("diagnostics differ after cache corruption")
+	}
+}

@@ -23,21 +23,21 @@ var DeterminismAnalyzer = &Analyzer{
 // and connection-map iteration are its job), as are the pure-analysis
 // quorum/types packages and the tooling under cmd/.
 var deterministicPkgs = map[string]bool{
-	"repro":                   true,
-	"repro/internal/sim":      true,
-	"repro/internal/dag":      true,
-	"repro/internal/gather":   true,
+	"repro":                    true,
+	"repro/internal/sim":       true,
+	"repro/internal/dag":       true,
+	"repro/internal/gather":    true,
 	"repro/internal/broadcast": true,
-	"repro/internal/abba":     true,
-	"repro/internal/acs":      true,
-	"repro/internal/coin":     true,
-	"repro/internal/rider":    true,
-	"repro/internal/core":     true,
-	"repro/internal/scenario": true,
-	"repro/internal/service":  true,
-	"repro/internal/harness":  true,
-	"repro/internal/baseline": true,
-	"repro/internal/register": true,
+	"repro/internal/abba":      true,
+	"repro/internal/acs":       true,
+	"repro/internal/coin":      true,
+	"repro/internal/rider":     true,
+	"repro/internal/core":      true,
+	"repro/internal/scenario":  true,
+	"repro/internal/service":   true,
+	"repro/internal/harness":   true,
+	"repro/internal/baseline":  true,
+	"repro/internal/register":  true,
 }
 
 func inDeterministicScope(path string) bool {
@@ -91,7 +91,7 @@ func unknownDirectives(pass *Pass) {
 	for _, key := range pass.Pkg.directiveLines() {
 		for _, e := range pass.Pkg.directives[key] {
 			if !knownDirectives[e.Name] {
-				pass.Reportf(e.Pos, "unknown lint directive //lint:%s (known: ordered, unwired, sizer-fallback)", e.Name)
+				pass.Reportf(e.Pos, "unknown lint directive //lint:%s (known: ordered, unwired, sizer-fallback, bounded, confined, retained)", e.Name)
 			}
 		}
 	}

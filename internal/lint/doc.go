@@ -1,11 +1,12 @@
 // Package lint implements the repository's custom static analyzers: a
 // small go/analysis-style framework (self-contained — built on the
 // standard library's go/ast, go/types and `go list -export`, because the
-// build environment vendors no external modules) plus three analyzers
-// that turn the repository's dynamic determinism and wire-codec
-// contracts into compile-time checks. The cmd/asymvet multichecker runs
-// them tree-wide; `make lint` (folded into `make test`) gates every
-// branch on a clean pass.
+// build environment vendors no external modules), a lightweight
+// interprocedural dataflow layer, and six analyzers that turn the
+// repository's dynamic determinism, wire-codec, adversarial-input,
+// parallel-delivery, and bounded-memory contracts into compile-time
+// checks. The cmd/asymvet multichecker runs them tree-wide; `make lint`
+// (folded into `make test`) gates every branch on a clean pass.
 //
 // # Static contracts
 //
@@ -72,6 +73,83 @@
 // unencodable (nested dynamic payloads). The deliberate case is
 // annotated.
 //
+// asymbound — integers read off the wire are attacker-controlled: a
+// Byzantine peer can put any value in a length or count field. The
+// analyzer taints the results of the raw decode entry points
+// (encoding/binary's Uvarint/Varint/ReadUvarint/ReadVarint and the
+// byte-order Uint16/32/64 methods, resolved through interfaces) and
+// flags any tainted value that reaches a make() size, a slice/array/
+// string index, a slice bound, or a loop bound without first being
+// dominated by a comparison against a cap. Comparisons sanitize
+// (wire.ReadInt's `if v > uint64(max)` guard is the canonical form, and
+// its effect propagates to callers through the summaries below), as
+// does min() with any clean argument; map indexing is always safe.
+//
+// asymshare — under the simulator's parallel same-time delivery
+// (DeliveryWorkers > 1), every receiver of a broadcast is handed the
+// SAME message value, and handlers for different processes run
+// concurrently. Any state reachable from a protocol Receive handler
+// must therefore be per-process-confined (receiver fields, fresh local
+// memory), synchronized (sync/atomic), or flow through the buffering
+// Env commit path (Send/Broadcast copy on encode). The analyzer roots
+// at every `Receive(env sim.Env, from, msg)` method in the
+// deterministic packages, follows the static call graph, and flags
+// writes through message-reachable memory (the gather.Pairs
+// shared-backing bug class) and writes to package-level variables on
+// any Receive-reachable path. The copy-before-mutate idiom
+// `append([]T(nil), shared...)` is recognized as confinement.
+//
+// asymgc — protocol state keyed or indexed by a monotonically advancing
+// coordinate (round, wave, sequence number, slot) grows for the
+// lifetime of the node unless something prunes it; PR 8's bounded-memory
+// mode depends on every such structure having a GC path. In the
+// GC-audited packages (dag, gather, broadcast, abba, acs, coin, rider,
+// core, service, register, baseline), any struct field that is a map
+// keyed by an integer coordinate (or by a struct with a round/wave/seq/
+// slot-named integer field — ProcessID keys are exempt, the process
+// universe is fixed) or a slice whose name says it accumulates
+// per-coordinate data (…Log, …History, deliver…, tail…, buffer…) must
+// have a prune site somewhere in the program: a delete() or clear() of
+// the field, or a shrinking reassignment (reslice, nil, keep-slice
+// rebuild). Constructor initialization (make, composite literal) and
+// append-to-self do not count.
+//
+// # The dataflow layer
+//
+// asymbound and asymshare are interprocedural: they consume per-function
+// summaries (dataflow.go) computed bottom-up over the whole load to a
+// fixed point, so facts flow through arbitrarily deep call chains and
+// recursion. One summary (flowFacts) records, per function:
+//
+//   - Results: for each declared result, whether it carries wire taint
+//     (FromSource) and which parameters' taint it forwards (FromParams,
+//     a bitset) — so `readLen` returning a raw wire read taints its
+//     callers' uses, and an identity passthrough keeps its argument's
+//     taint;
+//   - SinkParams/SinkNotes: parameters that flow unsanitized into an
+//     allocation/index/loop-bound sink inside the function or its
+//     callees — so passing a tainted value to a helper that make()s with
+//     it is reported at the call site, named after the helper;
+//   - MutParams/MutRecv: parameters (and the receiver) whose referenced
+//     memory the function writes through, directly or transitively —
+//     what lets asymshare attribute `scribble(m.Data)` to the call site
+//     that passed shared memory in;
+//   - Calls: the statically resolved callee keys, the edges reachability
+//     walks.
+//
+// The analyses are deliberately approximate, tuned so the audited tree
+// is clean without annotation noise. Documented imprecisions: any
+// comparison mentioning a variable sanitizes it along all paths
+// (path-insensitive); values read out of fields, containers, and maps
+// are clean (container- and field-insensitive — taint dies at a store);
+// interface dispatch and function values have no callee summary
+// (dynamic-dispatch-blind, except the binary.ByteOrder methods, which
+// are special-cased as sources); call results are fresh memory for
+// aliasing; append() aliases only its first argument, which is what
+// makes the copy idiom clean. These choices trade missed exotic flows
+// for a zero-false-positive gate; the fixture suites under testdata/
+// pin both directions.
+//
 // # Annotations
 //
 // Suppressions are line comments of the form
@@ -90,9 +168,17 @@
 //	                       transport
 //	//lint:sizer-fallback  this SimSize is a deliberate approximation for
 //	                       when the codec reports unencodable
+//	//lint:bounded         this wire-derived value is already bounded
+//	                       (placed on the sink line); say by what
+//	//lint:confined        this Receive-reachable memory is not actually
+//	                       shared (placed on the write); say why
+//	//lint:retained        this coordinate-keyed field is deliberately
+//	                       unpruned (placed on the field declaration);
+//	                       say what bounds it
 //
-// An //lint:ordered annotation on a line with no map range is itself
-// reported (unused suppressions rot).
+// An annotation on a line where its analyzer finds nothing to suppress
+// is itself reported (unused suppressions rot), as is any //lint: name
+// outside this list.
 //
 // # Running
 //
@@ -105,4 +191,19 @@
 // build cache's export data. Test files are not analyzed (test-local
 // message types and deliberately adversarial iteration live there); the
 // contracts gate shipped code.
+//
+// asymvet also supports -json (machine-readable findings), -baseline
+// (suppress a recorded finding set — adopt the analyzers on a dirty
+// tree without annotating everything first), and -cache. The cache
+// (cache.go) stores, per package, a content hash over its sources and
+// transitive in-module dependency cone, its cross-package facts (flow
+// summaries, wire registrations, unwired types, prune sites, Receive
+// roots), and its diagnostics, plus a digest of the whole program's
+// fact pool. A package replays its cached diagnostics without being
+// re-parsed when its own hash AND the global fact digest match; a
+// package whose facts are valid but whose surroundings changed is
+// re-analyzed from source with the unchanged rest of the program
+// injected as external facts. `make lint` keeps the cache in
+// .asymvet-cache.json (untracked); correctness falls back to a full
+// run on any mismatch or corruption.
 package lint

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -23,11 +25,12 @@ func runFixture(t *testing.T, analyzer *Analyzer, dir string) {
 	}
 
 	type want struct {
+		pos     token.Position
 		re      *regexp.Regexp
 		matched bool
 	}
 	wants := map[string][]*want{}
-	total := 0
+	all := []*want{}
 	for _, pkg := range prog.Packages {
 		if !strings.HasPrefix(pkg.Path, "repro/internal/lint/testdata/") {
 			continue
@@ -38,14 +41,15 @@ func runFixture(t *testing.T, analyzer *Analyzer, dir string) {
 					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
 						pos := prog.Fset.Position(c.Pos())
 						key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-						wants[key] = append(wants[key], &want{re: regexp.MustCompile(m[1])})
-						total++
+						w := &want{pos: pos, re: regexp.MustCompile(m[1])}
+						wants[key] = append(wants[key], w)
+						all = append(all, w)
 					}
 				}
 			}
 		}
 	}
-	if total == 0 {
+	if len(all) == 0 {
 		t.Fatalf("fixture %s declares no expectations", dir)
 	}
 
@@ -67,15 +71,17 @@ func runFixture(t *testing.T, analyzer *Analyzer, dir string) {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
-	keys := make([]string, 0, len(wants))
-	for key := range wants {
-		keys = append(keys, key)
-	}
-	for _, key := range keys {
-		for _, w := range wants[key] {
-			if !w.matched {
-				t.Errorf("%s: expected diagnostic matching %q was not reported", key, w.re)
-			}
+	// Report each unmatched want at its own file:line, in source order,
+	// so a failing run reads like a compiler error list.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos.Filename != all[j].pos.Filename {
+			return all[i].pos.Filename < all[j].pos.Filename
+		}
+		return all[i].pos.Line < all[j].pos.Line
+	})
+	for _, w := range all {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.pos.Filename, w.pos.Line, w.re)
 		}
 	}
 }
@@ -89,3 +95,9 @@ func TestWireFixture(t *testing.T) {
 }
 
 func TestSizerFixture(t *testing.T) { runFixture(t, SizerAnalyzer, "sizer") }
+
+func TestBoundFixture(t *testing.T) { runFixture(t, BoundAnalyzer, "bound") }
+
+func TestShareFixture(t *testing.T) { runFixture(t, ShareAnalyzer, "share") }
+
+func TestGCFixture(t *testing.T) { runFixture(t, GCAnalyzer, "gc") }

@@ -77,6 +77,15 @@ type Program struct {
 
 	regs     []Registration
 	regsDone bool
+
+	// flowG caches the interprocedural dataflow summaries (dataflow.go);
+	// pruned caches the program-wide prune-site index (gc.go).
+	flowG  *flowGraph
+	pruned map[string]bool
+
+	// external carries facts for packages the cache allowed the loader
+	// to skip re-parsing (cache.go); nil for a plain Load.
+	external *ExternalFacts
 }
 
 // All lint directives must use names from this set; anything else under
@@ -86,6 +95,9 @@ var knownDirectives = map[string]bool{
 	"ordered":        true,
 	"unwired":        true,
 	"sizer-fallback": true,
+	"bounded":        true,
+	"confined":       true,
+	"retained":       true,
 }
 
 const directivePrefix = "//lint:"
@@ -159,7 +171,10 @@ func (p *Package) directiveLines() []string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DeterminismAnalyzer, WireAnalyzer, SizerAnalyzer}
+	return []*Analyzer{
+		DeterminismAnalyzer, WireAnalyzer, SizerAnalyzer,
+		BoundAnalyzer, ShareAnalyzer, GCAnalyzer,
+	}
 }
 
 // Run applies each analyzer to each package of prog and returns the
@@ -167,12 +182,27 @@ func Analyzers() []*Analyzer {
 // of package load order.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		for _, pkg := range prog.Packages {
-			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
-			a.Run(pass)
-		}
+	for _, pkg := range prog.Packages {
+		diags = append(diags, runPackage(prog, pkg, analyzers)...)
 	}
+	sortDiags(diags)
+	return diags
+}
+
+// runPackage applies each analyzer to one package. Every analyzer
+// reports at positions inside the pass's own package, so the result is
+// exactly that package's findings — the property the cache relies on to
+// store diagnostics per package.
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -186,7 +216,6 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // typeKey is the cross-package identity of a Go type: its types.TypeString

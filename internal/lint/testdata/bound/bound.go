@@ -1,0 +1,130 @@
+// Package bound is the asymbound analyzer's fixture: wire-derived
+// integers must be compared against a cap before reaching an allocation
+// size, an index, a slice bound, or a loop bound. Positive cases carry
+// `want` comments; negative cases pin the sanitizer recognizers against
+// over-reporting.
+package bound
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+const cap64 = 64
+
+// --- positive: raw sources reaching sinks unchecked ---
+
+func makeFromUvarint(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	return make([]int, n) // want `reaches a make size`
+}
+
+func makeFromBinary(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) // want `reaches a make size`
+}
+
+func indexUnchecked(b []byte) byte {
+	n, _, _ := wire.ReadUvarint(b)
+	return b[n] // want `reaches an index`
+}
+
+func sliceUnchecked(b []byte) []byte {
+	n, _, _ := wire.ReadUvarint(b)
+	return b[:n] // want `reaches a slice bound`
+}
+
+func loopUnchecked(b []byte) int {
+	n, _, _ := wire.ReadUvarint(b)
+	sum := 0
+	for i := uint64(0); i < n; i++ { // want `reaches a loop bound`
+		sum++
+	}
+	return sum
+}
+
+func rangeOverInt(b []byte) int {
+	n, _, _ := wire.ReadUvarint(b)
+	sum := 0
+	for range n { // want `reaches a loop bound \(range over integer\)`
+		sum++
+	}
+	return sum
+}
+
+// --- positive: interprocedural flows ---
+
+// alloc sinks its parameter; callers passing unchecked wire values are
+// reported at the call site.
+func alloc(n int) []int {
+	return make([]int, n)
+}
+
+func taintedArg(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	return alloc(int(n)) // want `a make size inside bound\.alloc`
+}
+
+// readLen forwards a raw wire read through its result.
+func readLen(b []byte) uint64 {
+	n, _, _ := wire.ReadUvarint(b)
+	return n
+}
+
+func taintedResult(b []byte) []int {
+	return make([]int, readLen(b)) // want `bound\.readLen result.*reaches a make size`
+}
+
+// passthrough keeps its parameter's taint: source → param → sink chains
+// survive one level of indirection.
+func passthrough(n uint64) uint64 { return n + 1 }
+
+func taintedPassthrough(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	return make([]int, passthrough(n)) // want `reaches a make size`
+}
+
+// --- negative: sanitizers ---
+
+func guarded(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	if n > cap64 {
+		return nil
+	}
+	return make([]int, n) // checked above: clean
+}
+
+func clamped(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	return make([]int, min(n, cap64)) // min against a constant cap: clean
+}
+
+func viaReadInt(b []byte) []int {
+	n, _, _ := wire.ReadInt(b, cap64)
+	return make([]int, n) // ReadInt bounds internally (recognized compositionally)
+}
+
+func mapKeyed(b []byte, m map[uint64]int) int {
+	n, _, _ := wire.ReadUvarint(b)
+	return m[n] // map lookup with any key is safe: clean
+}
+
+func lenIsReal(b []byte) []byte {
+	out := make([]byte, len(b)) // len of real memory: clean
+	copy(out, b)
+	return out
+}
+
+// --- suppression ---
+
+func suppressed(b []byte) []int {
+	n, _, _ := wire.ReadUvarint(b)
+	//lint:bounded callers only hand this function trusted locally-generated buffers
+	return make([]int, n)
+}
+
+//lint:bounded stale suppression with nothing to suppress // want `unused //lint:bounded directive`
+func noSinkHere(b []byte) int {
+	return len(b)
+}

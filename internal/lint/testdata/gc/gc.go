@@ -1,0 +1,87 @@
+// Package gc is the asymgc analyzer's fixture: struct fields keyed or
+// indexed by an advancing coordinate (round, wave, sequence, slot) must
+// have a prune path somewhere in the program. Negative cases pin the
+// key-type and prune-site recognizers against over-reporting.
+package gc
+
+import "repro/internal/types"
+
+type slotKey struct {
+	Src types.ProcessID
+	Seq uint64
+}
+
+// --- positive: coordinate-keyed state with no prune path ---
+
+type leaky struct {
+	waves map[int]bool // want `no prune path`
+
+	bySlot map[slotKey]string // want `no prune path`
+
+	commitLog []string // want `no prune path`
+
+	// append-only reassignment is growth, not pruning.
+	deliverHistory []int // want `no prune path`
+
+	// initialized in the constructor (make does not count as a prune).
+	roundVotes map[uint64][]int // want `no prune path`
+}
+
+func newLeaky() *leaky {
+	return &leaky{waves: map[int]bool{}}
+}
+
+func (l *leaky) grow(r int) {
+	l.roundVotes = make(map[uint64][]int)
+	l.deliverHistory = append(l.deliverHistory, r)
+}
+
+// --- negative: pruned, out-of-scope keys, or annotated ---
+
+type pruned struct {
+	waves     map[int]bool       // deleted below
+	slots     map[slotKey]string // cleared below
+	tailLog   []string           // shrunk below
+	seqWindow []int              // rebuilt from a filtered keep-slice below
+}
+
+func (p *pruned) collect(watermark int) {
+	for w := range p.waves {
+		if w < watermark {
+			delete(p.waves, w)
+		}
+	}
+	clear(p.slots)
+	p.tailLog = p.tailLog[1:]
+	keep := p.seqWindow[:0]
+	for _, v := range p.seqWindow {
+		if v >= watermark {
+			keep = append(keep, v)
+		}
+	}
+	p.seqWindow = keep
+}
+
+type outOfScope struct {
+	perProcess map[types.ProcessID]int // fixed process universe: clean
+	byName     map[string]int          // not a coordinate key: clean
+	payload    []byte                  // name says nothing coordinate-ish: clean
+}
+
+func (o *outOfScope) touch() {
+	o.perProcess[0]++
+	o.byName["x"]++
+	o.payload = append(o.payload, 1)
+}
+
+type annotated struct {
+	//lint:retained test-only instrumentation, runs are short by construction
+	waveLog []string
+
+	rounds map[int]bool //lint:retained one-shot instance, discarded whole by its owner
+}
+
+//lint:retained stale suppression with nothing to suppress // want `unused //lint:retained directive`
+type clean struct {
+	n int
+}

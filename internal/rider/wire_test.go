@@ -83,10 +83,10 @@ func TestVertexWireRejectsMalformed(t *testing.T) {
 	frame := func(body []byte) []byte {
 		return append(wire.AppendUvarint(nil, wireTagVertex), body...)
 	}
-	huge := wire.AppendInt(nil, 1)                       // source
-	huge = wire.AppendInt(huge, 1)                       // round
-	huge = wire.AppendUvarint(huge, wire.MaxCount+1)     // tx count
-	over := wire.AppendInt(nil, 1)                       // source
+	huge := wire.AppendInt(nil, 1)                          // source
+	huge = wire.AppendInt(huge, 1)                          // round
+	huge = wire.AppendUvarint(huge, wire.MaxCount+1)        // tx count
+	over := wire.AppendInt(nil, 1)                          // source
 	over = wire.AppendUvarint(over, uint64(maxWireRound)+1) // round
 	cases := map[string][]byte{
 		"empty":          frame(nil),

@@ -5,31 +5,31 @@
 // Each Replica is a sim.Node wrapping one core.Node and owning the full
 // client-to-state lifecycle:
 //
-//	queue → batch → block → wave → commit → apply → snapshot/compact
+//		queue → batch → block → wave → commit → apply → snapshot/compact
 //
-//   - A deterministic self-addressed tick loop injects ClientRate
-//     synthetic client commands per tick into an admission-bounded
-//     request queue (commands beyond MaxQueue are rejected and counted —
-//     backpressure, never unbounded growth).
-//   - The queue drains through rider.QueueWorkload: up to BatchSize
-//     transactions are batched into the block of each vertex the node
-//     proposes.
-//   - Waves are pipelined: core.Config.PipelineDepth lets proposals run
-//     ahead of decisions by a bounded number of waves, so the replica
-//     never idles waiting for a commit, yet the undecided window — the
-//     state GC cannot reclaim — stays finite.
-//   - Garbage collection is mandatory in service mode (Config.GCDepth
-//     must be positive; withDefaults enforces it): the DAG's round
-//     window, the reliable-broadcast slot trackers, the coin share maps
-//     and the delivered/acked bookkeeping are all pruned below the
-//     decided horizon, so memory is bounded over an unbounded run.
-//   - Committed deliveries stream through the core sinks straight into
-//     the replica's state machine; there is no ever-growing delivery
-//     log. Every SnapshotEvery decided waves the replica records a
-//     Snapshot (applied state + the wave it covers) and compacts: the
-//     applied-transaction tail below the snapshot horizon is dropped.
-//     A snapshot is exactly what the ROADMAP's state-sync item will
-//     transfer to a joining node.
+//	  - A deterministic self-addressed tick loop injects ClientRate
+//	    synthetic client commands per tick into an admission-bounded
+//	    request queue (commands beyond MaxQueue are rejected and counted —
+//	    backpressure, never unbounded growth).
+//	  - The queue drains through rider.QueueWorkload: up to BatchSize
+//	    transactions are batched into the block of each vertex the node
+//	    proposes.
+//	  - Waves are pipelined: core.Config.PipelineDepth lets proposals run
+//	    ahead of decisions by a bounded number of waves, so the replica
+//	    never idles waiting for a commit, yet the undecided window — the
+//	    state GC cannot reclaim — stays finite.
+//	  - Garbage collection is mandatory in service mode (Config.GCDepth
+//	    must be positive; withDefaults enforces it): the DAG's round
+//	    window, the reliable-broadcast slot trackers, the coin share maps
+//	    and the delivered/acked bookkeeping are all pruned below the
+//	    decided horizon, so memory is bounded over an unbounded run.
+//	  - Committed deliveries stream through the core sinks straight into
+//	    the replica's state machine; there is no ever-growing delivery
+//	    log. Every SnapshotEvery decided waves the replica records a
+//	    Snapshot (applied state + the wave it covers) and compacts: the
+//	    applied-transaction tail below the snapshot horizon is dropped.
+//	    A snapshot is exactly what the ROADMAP's state-sync item will
+//	    transfer to a joining node.
 //
 // Because atomic broadcast delivers a total order, the applied state
 // after the commit that set decidedWave = w is a pure function of the
@@ -213,7 +213,8 @@ type Replica struct {
 	// RetainLog.
 	tail      []string
 	compacted int
-	fullLog   []string
+	//lint:retained opt-in test instrumentation (RetainLog), off in production configs
+	fullLog []string
 
 	lastSnapWave int
 	snapshots    []Snapshot
@@ -385,6 +386,7 @@ type Report struct {
 	Snapshots   []Snapshot
 	FinalState  []byte
 	// Log is the full applied-transaction order (RetainLog only).
+	//lint:retained final report value built once at run end, not live protocol state
 	Log []string
 	// Latency summarizes own-command commit latency in virtual time.
 	Latency LatencySummary

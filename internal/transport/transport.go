@@ -727,25 +727,52 @@ func (h *Host) readLoop(peer types.ProcessID, br *bufio.Reader, rec connRec) {
 			return // hello after handshake, or garbage
 		}
 		h.recvBytes.Add(uint64(len(payload) + frameHeaderSize))
-		rest := body
-		for len(rest) > 0 {
-			sz, r2, err := wire.ReadUvarint(rest)
-			if err != nil || sz > uint64(len(r2)) {
-				return
-			}
-			msg, leftover, err := wire.Decode(r2[:sz])
-			if err != nil || len(leftover) != 0 {
-				return
-			}
-			rest = r2[sz:]
+		alive := true
+		err = decodeBatch(body, func(msg sim.Message) bool {
 			h.recvMsgs.Add(1)
 			select {
 			case h.inbox <- envelope{From: peer, Msg: msg}:
+				return true
 			case <-h.done:
-				return
+				alive = false
+				return false
 			}
+		})
+		if err != nil || !alive {
+			return
 		}
 	}
+}
+
+// decodeBatch walks a batch frame body — a sequence of [uvarint length]
+// [encoded message] records — handing each decoded message to emit. Any
+// malformed record (bad varint, length past the body, codec error,
+// trailing bytes inside a record) is an error: the sender is broken or
+// hostile and the caller drops the connection. emit returning false
+// stops the walk early without error.
+func decodeBatch(body []byte, emit func(sim.Message) bool) error {
+	rest := body
+	for len(rest) > 0 {
+		sz, r2, err := wire.ReadUvarint(rest)
+		if err != nil {
+			return fmt.Errorf("transport: batch record length: %w", err)
+		}
+		if sz > uint64(len(r2)) {
+			return fmt.Errorf("transport: batch record length %d exceeds remaining %d bytes", sz, len(r2))
+		}
+		msg, leftover, err := wire.Decode(r2[:sz])
+		if err != nil {
+			return fmt.Errorf("transport: batch record: %w", err)
+		}
+		if len(leftover) != 0 {
+			return fmt.Errorf("transport: %d trailing bytes inside batch record", len(leftover))
+		}
+		rest = r2[sz:]
+		if !emit(msg) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Start launches the node loop: Init, then serialized Receive calls.
